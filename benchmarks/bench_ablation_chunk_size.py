@@ -1,0 +1,70 @@
+"""Ablation: object (chunk) size vs coefficient overhead (section 4.1).
+
+"The bigger the file the smaller is the coefficient overhead": this
+bench encodes the same payload at several chunk sizes and measures the
+actual stored bytes, showing the fixed per-chunk coefficient cost that
+makes over-splitting expensive -- and prints the minimum object size
+rule for the paper's configurations.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.analysis.tables import format_bytes, render_table
+from repro.core.chunking import ChunkedCodec, minimum_object_size
+from repro.core.params import RCParams
+from repro.core.regenerating import RandomLinearRegeneratingCode
+
+PAYLOAD = 256 << 10
+CHUNK_SIZES = [256 << 10, 64 << 10, 16 << 10, 4 << 10]
+PARAMS = RCParams(8, 8, 12, 3)
+
+
+def test_chunk_size_ablation(benchmark):
+    data = bytes(np.random.default_rng(12).integers(0, 256, PAYLOAD, dtype=np.uint8))
+    results = {}
+
+    def run_all():
+        for chunk_size in CHUNK_SIZES:
+            code = RandomLinearRegeneratingCode(
+                PARAMS, rng=np.random.default_rng(13)
+            )
+            codec = ChunkedCodec(code, chunk_size=chunk_size)
+            chunked = codec.insert(data)
+            stored = sum(
+                chunk.storage_bytes(code.field) for chunk in chunked.chunks
+            )
+            payload_only = sum(
+                chunk.payload_bytes(code.field) for chunk in chunked.chunks
+            )
+            results[chunk_size] = (chunked.chunk_count, stored, payload_only)
+            # Every chunking level must still round-trip.
+            assert codec.reconstruct(chunked, [0, 3, 5, 7, 9, 11, 13, 15]) == data
+        return results
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = []
+    for chunk_size in CHUNK_SIZES:
+        count, stored, payload_only = results[chunk_size]
+        overhead = stored / payload_only - 1
+        rows.append(
+            [
+                format_bytes(chunk_size),
+                f"{count}",
+                format_bytes(stored),
+                f"{overhead:.2%}",
+            ]
+        )
+    emit(f"\nChunk-size ablation: {format_bytes(PAYLOAD)} payload under {PARAMS}")
+    emit(render_table(
+        ["chunk size", "chunks", "stored (with coeffs)", "coeff overhead"], rows
+    ))
+    emit(f"minimum object size for 1% overhead: "
+         f"{format_bytes(minimum_object_size(PARAMS, 0.01))} "
+         f"(paper 4.1's design rule)")
+
+    # Smaller chunks always cost more total storage (fixed coefficient
+    # cost per chunk), and the overhead ratio grows monotonically.
+    storeds = [results[size][1] for size in CHUNK_SIZES]
+    assert all(a <= b for a, b in zip(storeds, storeds[1:]))

@@ -1,0 +1,84 @@
+"""Ablation: Galois-field size q (section 3.1 / 4.2 design choice).
+
+The paper chooses q = 16 because the decode-failure probability of
+random linear codes is governed by the field size ("a field size equal
+to 2^16 is considered sufficient").  This bench quantifies the two
+sides of that choice:
+
+- reliability: measured rank-failure rate of random square matrices
+  over GF(2^4), GF(2^8), GF(2^16);
+- speed: linear-combination throughput per field (smaller elements do
+  more elements per byte, larger tables thrash caches).
+"""
+
+import time
+
+import numpy as np
+from conftest import emit
+
+from repro.analysis.tables import render_table
+from repro.gf import linalg
+from repro.gf.field import GF
+
+MATRIX = 8
+TRIALS = 400
+
+
+def _failure_rate(q: int, rng) -> float:
+    field = GF(q)
+    failures = sum(
+        linalg.rank(field, field.random((MATRIX, MATRIX), rng)) < MATRIX
+        for _ in range(TRIALS)
+    )
+    return failures / TRIALS
+
+
+def _throughput_mbps(q: int, rng) -> float:
+    field = GF(q)
+    vectors = 32
+    length = 1 << 15
+    coefficients = field.random_nonzero(vectors, rng)
+    matrix = field.random((vectors, length), rng)
+    best = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        field.linear_combination(coefficients, matrix)
+        best = min(best, time.perf_counter() - start)
+    processed_bytes = vectors * length * field.element_size
+    return processed_bytes / best / (1 << 20)
+
+
+def test_field_size_ablation(benchmark):
+    rng = np.random.default_rng(16)
+    results = {}
+
+    def run_all():
+        for q in (4, 8, 16):
+            results[q] = (_failure_rate(q, rng), _throughput_mbps(q, rng))
+        return results
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = []
+    for q, (failure_rate, throughput) in sorted(results.items()):
+        theoretical = 1 - np.prod([1 - 2.0 ** (-q * j) for j in range(1, MATRIX + 1)])
+        rows.append(
+            [
+                f"GF(2^{q})",
+                f"{failure_rate:.4f}",
+                f"{theoretical:.4f}",
+                f"{throughput:.0f} MB/s",
+            ]
+        )
+    emit(f"\nField-size ablation ({MATRIX}x{MATRIX} random matrices, {TRIALS} trials)")
+    emit(
+        render_table(
+            ["field", "measured P(singular)", "theoretical", "combine throughput"], rows
+        )
+    )
+
+    # GF(2^4) fails measurably; GF(2^16) effectively never (paper 3.1).
+    assert results[4][0] > 0.01
+    assert results[16][0] == 0.0
+    # Failure rate decreases with field size.
+    assert results[4][0] > results[8][0] >= results[16][0]

@@ -1,0 +1,81 @@
+"""Extension: exact-repair (product-matrix) vs functional-repair
+(random-linear) Regenerating Codes at the same trade-off point.
+
+The paper implements functional repair and cites [9] for deterministic
+codes.  Comparing both implementations at the MBR point quantifies what
+determinism buys: **zero coefficient overhead** (the entire cost of
+section 4.1 disappears) and bit-identical regeneration, at the price of
+a fixed n and a structured construction.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.analysis.tables import format_bytes, render_table
+from repro.codes import ProductMatrixMBR, RegeneratingCodeScheme
+from repro.core.params import RCParams
+
+FILE_SIZE = 64 << 10
+K, H, D = 4, 4, 7  # the MBR point: i = k - 1
+
+
+def test_exact_vs_functional_mbr(benchmark):
+    results = {}
+
+    def run_both():
+        data = bytes(
+            np.random.default_rng(5).integers(0, 256, FILE_SIZE, dtype=np.uint8)
+        )
+        functional = RegeneratingCodeScheme(
+            RCParams(K, H, D, K - 1), rng=np.random.default_rng(6)
+        )
+        exact = ProductMatrixMBR(n=K + H, k=K, d=D)
+        for name, scheme in [("random-linear MBR", functional), ("product-matrix MBR", exact)]:
+            encoded = scheme.encode(data)
+            available = encoded.block_map()
+            del available[0]
+            outcome = scheme.repair(encoded, available, 0)
+            available[0] = outcome.block
+            restored = scheme.reconstruct(
+                encoded, [available[index] for index in sorted(available)[:K]]
+            )
+            assert restored == data
+            identical = (
+                hasattr(outcome.block.content, "shape")
+                and not hasattr(outcome.block.content, "coefficients")
+                and np.array_equal(
+                    np.asarray(outcome.block.content),
+                    np.asarray(encoded.blocks[0].content),
+                )
+            )
+            results[name] = {
+                "storage": encoded.storage_bytes(),
+                "repair": outcome.bytes_downloaded,
+                "exact": identical,
+            }
+        return results
+
+    benchmark.pedantic(run_both, rounds=1, iterations=1)
+
+    rows = [
+        [
+            name,
+            format_bytes(values["storage"]),
+            format_bytes(values["repair"]),
+            "bit-identical" if values["exact"] else "functional (re-randomized)",
+        ]
+        for name, values in results.items()
+    ]
+    emit(f"\nExact vs functional repair at the MBR point "
+         f"(k={K}, h={H}, d={D}, {FILE_SIZE >> 10} KB file)")
+    emit(render_table(["implementation", "storage", "repair traffic", "regeneration"], rows))
+
+    functional = results["random-linear MBR"]
+    exact = results["product-matrix MBR"]
+    # Determinism removes the stored-coefficient overhead entirely.
+    assert exact["storage"] < functional["storage"]
+    assert exact["repair"] < functional["repair"]
+    assert exact["exact"] and not functional["exact"]
+    overhead = functional["storage"] / exact["storage"] - 1
+    emit(f"coefficient overhead eliminated: {overhead:.1%} of storage "
+         "(grows with n_file per section 4.1)")

@@ -1,0 +1,54 @@
+"""Figure 1: piece size and repair traffic vs (d, i) for RC(32,32,d,i).
+
+Regenerates both panels of the paper's figure 1 -- the |piece| stretch
+(1a) and the |repair_down| reduction (1b), normalized by the
+traditional erasure code RC(32,32,32,0) -- and prints the exact curve
+values the paper plots.
+"""
+
+from conftest import emit
+
+from repro.analysis.figures import (
+    PAPER_FIG1A_I_VALUES,
+    PAPER_FIG1B_I_VALUES,
+    fig1a_piece_stretch,
+    fig1b_repair_reduction,
+)
+from repro.analysis.tables import render_table
+
+PLOTTED_D = [32, 36, 40, 44, 48, 52, 56, 60, 63]
+
+
+def _print_series(title, series, i_values):
+    headers = ["d"] + [f"i={i}" for i in i_values]
+    rows = []
+    for d in PLOTTED_D:
+        row = [str(d)]
+        for i in i_values:
+            row.append(f"{dict(series[i])[d]:.4f}")
+        rows.append(row)
+    emit(f"\n{title}")
+    emit(render_table(headers, rows))
+
+
+def test_fig1a_piece_stretch(benchmark):
+    series = benchmark(fig1a_piece_stretch)
+    _print_series(
+        "Figure 1(a): |piece| stretch vs d (reference: erasure |file|/32)",
+        series,
+        PAPER_FIG1A_I_VALUES,
+    )
+    assert series[0][0][1] == 1.0
+    assert abs(series[31][0][1] - 1.94) < 0.01
+
+
+def test_fig1b_repair_reduction(benchmark):
+    series = benchmark(fig1b_repair_reduction)
+    _print_series(
+        "Figure 1(b): |repair_down| reduction vs d (reference: erasure |file|)",
+        series,
+        PAPER_FIG1B_I_VALUES,
+    )
+    minimum = min(value for curve in series.values() for _, value in curve)
+    emit(f"minimum repair traffic: {minimum:.4f} x |file| (paper: ~0.0415 at d=63, i=31)")
+    assert abs(minimum - 0.0415) < 5e-4

@@ -1,0 +1,32 @@
+"""Figure 3: coefficient overhead of RC(32,32,d,i) for a 1 MByte file.
+
+Prints the overhead r_coeff (bits of coefficients per bit of data, the
+paper plots it in log scale) for the paper's five curves.  The headline
+value: more than 4 bits/bit at (d=63, i=31).
+"""
+
+from conftest import emit
+
+from repro.analysis.figures import PAPER_FIG1A_I_VALUES, fig3_coefficient_overhead
+from repro.analysis.tables import render_table
+
+MB = 1 << 20
+PLOTTED_D = [32, 36, 40, 44, 48, 52, 56, 60, 63]
+
+
+def test_fig3_coefficient_overhead(benchmark):
+    series = benchmark(fig3_coefficient_overhead, MB)
+    headers = ["d"] + [f"i={i}" for i in PAPER_FIG1A_I_VALUES]
+    rows = []
+    for d in PLOTTED_D:
+        row = [str(d)]
+        for i in PAPER_FIG1A_I_VALUES:
+            row.append(f"{dict(series[i])[d]:.5f}")
+        rows.append(row)
+    emit("\nFigure 3: coefficient overhead r_coeff for a 1 MByte file (q = 16)")
+    emit(render_table(headers, rows))
+    worst = series[31][-1][1]
+    emit(f"worst case (d=63, i=31): {worst:.3f} bits of coefficients per data bit"
+         " (paper: 'more than 4')")
+    assert worst > 4.0
+    assert series[0][0][1] < 0.01

@@ -1,0 +1,42 @@
+"""Figure 5: the storage / communication / computation trade-off.
+
+The paper draws this as a schematic triangle; this bench computes the
+actual positions of replication, the traditional erasure code, MSR,
+MBR, and the two Table-1 mid-range configurations, and reports the
+Pareto frontier.
+"""
+
+from conftest import emit
+
+from repro.analysis.tables import render_table
+from repro.analysis.tradeoff import pareto_front, tradeoff_points
+
+
+def test_fig5_tradeoff(benchmark):
+    points = benchmark(tradeoff_points)
+    rows = [
+        [
+            point.label,
+            f"{point.storage_overhead:.3f}",
+            f"{point.repair_traffic:.4f}",
+            f"{point.computation:.2f}",
+        ]
+        for point in points
+    ]
+    emit("\nFigure 5: measured trade-off positions (k = h = 32, 1 MB file)")
+    emit(
+        render_table(
+            ["scheme", "storage x|file|", "repair x|file|", "repair ops/byte"], rows
+        )
+    )
+    front = pareto_front(points)
+    emit("Pareto frontier: " + ", ".join(point.label for point in front))
+
+    by_label = {point.label: point for point in points}
+    # The schematic's relationships:
+    assert by_label["replication(x2)"].computation == 0.0
+    assert by_label["MSR"].repair_traffic < by_label["erasure(k=32)"].repair_traffic / 10
+    assert by_label["MBR"].repair_traffic < by_label["MSR"].repair_traffic
+    assert by_label["MBR"].storage_overhead > by_label["MSR"].storage_overhead
+    assert by_label["MSR"].computation > by_label["erasure(k=32)"].computation
+    assert {point.label for point in front} >= {"replication(x2)", "MSR", "MBR"}

@@ -1,0 +1,133 @@
+"""Table 1 (section 5.2): bottleneck network bandwidth, repair traffic
+and storage for the paper's four configurations of RC(32,32,d,i).
+
+Paper reference rows (1 MByte file, optimized C):
+
+    d   i   Encoding  Part.Rep  Newc.Rep  Inversion  Decoding  |repair|  |storage|
+    32  0   31.2 Mbps   --      777.3Mbps  7.8 Mbps  24.6Mbps   1 MB     2 MB
+    63  30  655 Kbps  11.0Mbps  10.2 Mbps  383 Kbps  482Kbps    42.47KB  2.61 MB
+    32  30  1.9 Mbps  21.6Mbps  21.6 Mbps  1.6 Mbps  1.3Mbps    62.18KB  3.76 MB
+    40  1   3.1 Mbps  70.5Mbps  76.8 Mbps  1.5 Mbps  2.5Mbps    128.40KB 2.006MB
+
+The storage and repair columns are analytic and must match exactly.
+Bandwidth columns depend on the implementation's absolute speed (numpy
+here vs C there); the *ordering* and relative gaps are the reproduced
+shape.  The (63,30) row's matrix inversion is the expensive step -- the
+paper's own C code needed ~2 minutes for it.
+
+Set REPRO_TABLE1_QUICK=1 to skip the two heaviest rows.
+"""
+
+import os
+
+import numpy as np
+import pytest
+from conftest import emit
+
+from repro.analysis.tables import format_bandwidth, format_bytes, render_table
+from repro.analysis.timing import time_operations
+from repro.core.bandwidth import BandwidthReport, Operation
+from repro.core.params import RCParams
+
+ROWS = [(32, 0), (63, 30), (32, 30), (40, 1)]
+HEAVY = {(63, 30), (32, 30)}
+
+PAPER_REFERENCE = {
+    (32, 0): ["31.2 Mbps", "--", "777.3 Mbps", "7.8 Mbps", "24.6 Mbps", "1 MB", "2 MB"],
+    (63, 30): ["655 Kbps", "11.0 Mbps", "10.2 Mbps", "383 Kbps", "482 Kbps", "42.47 KB", "2.61 MB"],
+    (32, 30): ["1.9 Mbps", "21.6 Mbps", "21.6 Mbps", "1.6 Mbps", "1.3 Mbps", "62.18 KB", "3.76 MB"],
+    (40, 1): ["3.1 Mbps", "70.5 Mbps", "76.8 Mbps", "1.5 Mbps", "2.5 Mbps", "128.40 KB", "2.006 MB"],
+}
+
+OPERATION_ORDER = [
+    Operation.ENCODING,
+    Operation.PARTICIPANT_REPAIR,
+    Operation.NEWCOMER_REPAIR,
+    Operation.INVERSION,
+    Operation.DECODING,
+]
+
+
+def _selected_rows():
+    if os.environ.get("REPRO_TABLE1_QUICK"):
+        return [row for row in ROWS if row not in HEAVY]
+    return ROWS
+
+
+def test_table1(benchmark, file_size):
+    rows = _selected_rows()
+    reports = {}
+    throughputs = {}
+
+    def measure_all():
+        for d, i in rows:
+            params = RCParams.paper_default(d, i)
+            timings = time_operations(
+                params, file_size=file_size, rng=np.random.default_rng(d * 100 + i)
+            )
+            reports[(d, i)] = BandwidthReport.from_times(
+                params, file_size, timings.as_dict()
+            )
+            encode_seconds = timings.encoding
+            throughputs[(d, i)] = file_size / encode_seconds if encode_seconds else None
+        return reports
+
+    benchmark.pedantic(measure_all, rounds=1, iterations=1)
+
+    table_rows = []
+    for d, i in rows:
+        report = reports[(d, i)]
+        cells = [str(d), str(i)]
+        for operation in OPERATION_ORDER:
+            bps = report.bandwidth_bps[operation]
+            cells.append("--" if bps == float("inf") else format_bandwidth(bps))
+        cells.append(format_bytes(float(report.repair_download_bytes)))
+        cells.append(format_bytes(float(report.storage_bytes)))
+        table_rows.append(cells)
+        table_rows.append(
+            ["", "(paper)"] + PAPER_REFERENCE[(d, i)][:5] + PAPER_REFERENCE[(d, i)][5:]
+        )
+
+    headers = [
+        "d", "i", "Encoding", "Part.Repair", "Newc.Repair",
+        "Inversion", "Decoding", "|repair_down|", "|storage|",
+    ]
+    emit(f"\nTable 1: bottleneck network bandwidth ({file_size} byte file; "
+         "paper rows: 1 MByte, C implementation)")
+    emit(render_table(headers, table_rows))
+
+    # Analytic columns must be exact (scaled to this file size).
+    mb = 1 << 20
+    exact = {
+        (32, 0): (mb, 2 * mb),
+        (63, 30): (42.47 * 1024, 2.61 * mb),
+        (32, 30): (62.18 * 1024, 3.76 * mb),
+        (40, 1): (128.40 * 1024, 2.006 * mb),
+    }
+    for (d, i), (repair_1mb, storage_1mb) in exact.items():
+        if (d, i) not in reports:
+            continue
+        report = reports[(d, i)]
+        scale = file_size / mb
+        assert float(report.repair_download_bytes) == pytest.approx(
+            repair_1mb * scale, rel=2e-3
+        )
+        assert float(report.storage_bytes) == pytest.approx(
+            storage_1mb * scale, rel=2e-3
+        )
+
+    # Shape assertions on the measured bandwidths.
+    encodings = {
+        key: report.bandwidth_bps[Operation.ENCODING]
+        for key, report in reports.items()
+    }
+    assert encodings[(32, 0)] == max(encodings.values())
+    if (63, 30) in reports:
+        assert encodings[(63, 30)] == min(encodings.values())
+
+    # The section 5.2 closing claim: heavy configurations process on the
+    # order of GBytes per hour of CPU.
+    for key, throughput in throughputs.items():
+        gb_per_hour = throughput * 3600 / (1 << 30)
+        emit(f"encoding throughput RC(32,32,{key[0]},{key[1]}): "
+             f"{gb_per_hour:.1f} GB/hour of CPU")

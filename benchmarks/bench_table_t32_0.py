@@ -1,0 +1,90 @@
+"""The t_{32,0} table (section 5.1): absolute operation times for the
+traditional erasure code RC(32,32,32,0).
+
+The paper's reference numbers (1 MByte file, optimized C, 2.66 GHz
+Core 2 Duo):
+
+    Encoding           0.52 s
+    Participant Repair 0
+    Newcomer Repair    0.01 s
+    Matrix Inversion   0.002 s
+    Decoding           0.25 s
+
+This bench measures the same five operations on real coded data.
+Default file size is 256 KiB (set REPRO_FILE_SIZE=1048576 for the
+paper's exact setting); every cost except inversion scales linearly.
+"""
+
+import numpy as np
+import pytest
+from conftest import emit
+
+from repro.analysis.tables import format_seconds, render_table
+from repro.analysis.timing import time_operations, time_to_table
+from repro.core.params import RCParams
+from repro.core.regenerating import RandomLinearRegeneratingCode
+
+PAPER_TIMES = {
+    "Encoding": 0.52,
+    "Participant Repair": 0.0,
+    "Newcomer Repair": 0.01,
+    "Matrix Inversion": 0.002,
+    "Decoding": 0.25,
+}
+
+
+@pytest.fixture(scope="module")
+def erasure_code(file_size):
+    params = RCParams.erasure(32, 32)
+    rng = np.random.default_rng(32)
+    code = RandomLinearRegeneratingCode(params, rng=rng)
+    data = rng.integers(0, 256, size=file_size, dtype=np.uint8).tobytes()
+    encoded = code.insert(data)
+    return code, data, encoded
+
+
+def test_t32_0_table(benchmark, file_size):
+    timings = benchmark.pedantic(
+        lambda: time_operations(
+            RCParams.erasure(32, 32), file_size=file_size, rng=np.random.default_rng(1)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        [name, format_seconds(seconds), format_seconds(PAPER_TIMES[name])]
+        for name, seconds in time_to_table(timings)
+    ]
+    emit(f"\nt_(32,0) operation times for a {file_size} byte file "
+         "(paper column: 1 MByte, optimized C)")
+    emit(render_table(["operation", "measured", "paper (1MB, C)"], rows))
+    assert timings.participant_repair == 0.0
+    assert timings.encoding > timings.decoding
+
+
+def test_bench_encoding(benchmark, erasure_code, file_size):
+    code, data, _ = erasure_code
+    benchmark.pedantic(lambda: code.insert(data), rounds=2, iterations=1)
+
+
+def test_bench_newcomer_repair(benchmark, erasure_code):
+    code, _, encoded = erasure_code
+    uploads = [piece.fragments()[0] for piece in encoded.pieces[:32]]
+    benchmark(lambda: code.newcomer_repair(uploads, index=63))
+
+
+def test_bench_inversion(benchmark, erasure_code):
+    code, _, encoded = erasure_code
+    pieces = encoded.subset(range(32))
+    benchmark(lambda: code.plan_reconstruction(pieces))
+
+
+def test_bench_decoding(benchmark, erasure_code):
+    code, _, encoded = erasure_code
+    pieces = encoded.subset(range(32))
+    plan = code.plan_reconstruction(pieces)
+    benchmark.pedantic(
+        lambda: code.decode_with_plan(plan, pieces, encoded.file_size),
+        rounds=2,
+        iterations=1,
+    )

@@ -1,0 +1,36 @@
+"""Shared helpers for the benchmark harness.
+
+Each bench module regenerates one table or figure of the paper: it
+benchmarks the underlying operation (so ``--benchmark-only`` reports
+timings) and prints the same rows/series the paper reports.  Output
+conventions:
+
+- tables/series print through :func:`emit` so they surface even under
+  pytest's capture (written to the terminal reporter at teardown);
+- ``REPRO_FILE_SIZE`` (bytes) switches every measured bench to the
+  paper's exact 1 MByte setting (default 256 KiB keeps the suite fast;
+  all costs except matrix inversion scale linearly).
+"""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+
+def emit(text: str) -> None:
+    """Print benchmark output so it survives pytest's capture."""
+    # -s / capture=no prints immediately; otherwise write to the real
+    # stdout handle captured sections would hide.
+    print(text)
+    if hasattr(sys, "__stdout__") and sys.stdout is not sys.__stdout__:
+        sys.__stdout__.write(text + "\n")
+        sys.__stdout__.flush()
+
+
+@pytest.fixture(scope="session")
+def file_size() -> int:
+    from repro.analysis.timing import default_file_size
+
+    return default_file_size()

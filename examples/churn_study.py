@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Churn study: durability and repair traffic across churn intensities.
+
+Sweeps the mean peer lifetime and runs the same backup workload under
+replication, a traditional erasure code and a Regenerating Code,
+reporting durability and total repair traffic.  This is the experiment
+the paper leaves as future work ("compare the performance of
+Regenerating Codes to other existing solutions ... under different
+conditions with respect to data volume and available bandwidth").
+
+Run:  python examples/churn_study.py
+"""
+
+import numpy as np
+
+from repro.analysis.tables import format_bytes, render_table
+from repro.codes import (
+    RandomLinearErasureScheme,
+    RegeneratingCodeScheme,
+    ReplicationScheme,
+)
+from repro.core import RCParams
+from repro.p2p import BackupSystem, ExponentialLifetime, SimulationConfig
+
+FILE_BYTES = 16 << 10
+FILES = 4
+HORIZON = 500.0
+MEAN_LIFETIMES = [500.0, 250.0, 125.0]
+
+
+def build_schemes():
+    return [
+        ("replication x4", lambda seed: ReplicationScheme(4)),
+        (
+            "erasure (8,8)",
+            lambda seed: RandomLinearErasureScheme(8, 8, rng=np.random.default_rng(seed)),
+        ),
+        (
+            "RC(8,8,10,1)",
+            lambda seed: RegeneratingCodeScheme(
+                RCParams(8, 8, 10, 1), rng=np.random.default_rng(seed)
+            ),
+        ),
+    ]
+
+
+def run_once(scheme, mean_lifetime: float, seed: int):
+    system = BackupSystem(
+        scheme,
+        SimulationConfig(
+            initial_peers=48,
+            lifetime_model=ExponentialLifetime(mean_lifetime),
+            peer_arrival_rate=48.0 / mean_lifetime,  # steady-state population
+            seed=seed,
+        ),
+    )
+    data = bytes(np.random.default_rng(0).integers(0, 256, FILE_BYTES, dtype=np.uint8))
+    file_ids = [system.insert_file(data) for _ in range(FILES)]
+    system.run(HORIZON)
+    alive = sum(1 for file_id in file_ids if not system.files[file_id].lost)
+    return system.metrics, alive
+
+
+def main() -> None:
+    rows = []
+    for mean_lifetime in MEAN_LIFETIMES:
+        for name, factory in build_schemes():
+            metrics, alive = run_once(factory(seed=11), mean_lifetime, seed=91)
+            summary = metrics.summary()
+            rows.append(
+                [
+                    f"{mean_lifetime:.0f}",
+                    name,
+                    f"{summary['repairs_completed']:.0f}",
+                    format_bytes(summary["repair_bytes"]),
+                    format_bytes(summary["mean_repair_bytes"]),
+                    f"{alive}/{FILES}",
+                ]
+            )
+    print(f"\nChurn study: {FILES} files of {format_bytes(FILE_BYTES)}, "
+          f"{HORIZON:.0f} time units, steady population of 48 peers")
+    print(
+        render_table(
+            ["mean lifetime", "scheme", "repairs", "repair traffic",
+             "per repair", "files alive"],
+            rows,
+        )
+    )
+    print(
+        "\nAs churn intensifies (shorter lifetimes), total repair traffic "
+        "grows for every scheme -- but the Regenerating Code pays a "
+        "fraction of the erasure code's bill per repair, which is the "
+        "paper's argument for using it where maintenance dominates."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Exact vs functional repair at the same trade-off point.
+
+The paper implements *functional* repair: a regenerated piece is a
+fresh random combination, equivalent but not identical to what was
+lost, and every piece must carry its coefficient vector.  The
+deterministic product-matrix construction (the lineage the paper cites
+as [9]) repairs *exactly* -- bit-identical pieces, no coefficients at
+all.  This example puts both on the MBR point of the paper's figure 1
+and shows what each costs.
+
+Run:  python examples/exact_repair.py
+"""
+
+import numpy as np
+
+from repro.codes import ProductMatrixMBR, RegeneratingCodeScheme
+from repro.core import RCParams
+
+K, H, D = 8, 8, 12
+FILE_SIZE = 64 << 10
+
+
+def main() -> None:
+    data = bytes(np.random.default_rng(9).integers(0, 256, FILE_SIZE, dtype=np.uint8))
+
+    functional = RegeneratingCodeScheme(
+        RCParams(K, H, D, K - 1), rng=np.random.default_rng(10)
+    )
+    exact = ProductMatrixMBR(n=K + H, k=K, d=D)
+    # Same point in the design space: identical fragment counts.
+    assert exact.message_size == functional.params.n_file
+    assert exact.piece_symbols == functional.params.n_piece
+
+    for name, scheme in [
+        ("random-linear MBR (the paper's implementation)", functional),
+        ("product-matrix MBR (deterministic, exact repair)", exact),
+    ]:
+        encoded = scheme.encode(data)
+        available = encoded.block_map()
+        del available[0]
+        outcome = scheme.repair(encoded, available, 0)
+        regenerated = np.asarray(
+            outcome.block.content.data
+            if hasattr(outcome.block.content, "data")
+            else outcome.block.content
+        )
+        original = np.asarray(
+            encoded.blocks[0].content.data
+            if hasattr(encoded.blocks[0].content, "data")
+            else encoded.blocks[0].content
+        )
+        identical = regenerated.shape == original.shape and bool(
+            np.array_equal(regenerated, original)
+        )
+        available[0] = outcome.block
+        restored = scheme.reconstruct(
+            encoded, [available[index] for index in sorted(available)[:K]]
+        )
+        assert restored == data
+
+        print(f"\n== {name} ==")
+        print(f"  storage (16 pieces)   : {encoded.storage_bytes()} bytes")
+        print(f"  repair traffic        : {outcome.bytes_downloaded} bytes from "
+              f"d={outcome.repair_degree} helpers")
+        print(f"  regenerated piece     : "
+              f"{'bit-identical to the lost one' if identical else 'functionally equivalent (re-randomized)'}")
+
+    print(
+        "\nThe deterministic code stores no coefficient vectors (section "
+        "4.1's overhead vanishes) and repairs exactly -- but its n is "
+        "fixed at construction, while random linear codes can mint new "
+        "pieces forever.  That flexibility is why the paper studies the "
+        "random-linear implementation for P2P backup."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Parameter explorer: choose (d, i) for your deployment.
+
+The paper's section 5.2 shows how to trade storage against repair
+traffic against computation.  This tool evaluates the whole RC(k, h, d,
+i) family for your file size, calibrates the analytic cost model on
+this machine, and recommends three configurations:
+
+- minimum storage (the traditional-erasure corner),
+- minimum repair traffic (the MBR corner),
+- the balanced pick (the paper's "d slightly larger than k, small i").
+
+Run:  python examples/parameter_explorer.py [k] [h] [file_size_bytes]
+e.g.  python examples/parameter_explorer.py 32 32 1048576
+"""
+
+import sys
+
+from repro.analysis.tables import format_bandwidth, format_bytes, render_table
+from repro.analysis.timing import calibrate_ops_per_second
+from repro.core import CostModel, Operation, RCParams, bottleneck_bandwidth
+from repro.core.costs import coefficient_overhead
+
+
+def evaluate(params: RCParams, file_size: int, ops_per_second: float) -> dict:
+    model = CostModel(params, file_size)
+    times = {
+        Operation(name): seconds
+        for name, seconds in model.predicted_times(ops_per_second).items()
+    }
+    bandwidth = bottleneck_bandwidth(params, file_size, times)
+    return {
+        "params": params,
+        "storage": float(params.storage_size(file_size)),
+        "repair": float(params.repair_download_size(file_size)),
+        "coefficients": float(coefficient_overhead(params, file_size)),
+        "encoding_bnb": bandwidth[Operation.ENCODING],
+    }
+
+
+def main() -> None:
+    k = int(sys.argv[1]) if len(sys.argv) > 1 else 16
+    h = int(sys.argv[2]) if len(sys.argv) > 2 else 16
+    file_size = int(sys.argv[3]) if len(sys.argv) > 3 else 1 << 20
+
+    print(f"Exploring RC({k},{h},d,i) for a {format_bytes(file_size)} file...")
+    ops_per_second = calibrate_ops_per_second()
+    print(f"this machine: ~{ops_per_second / 1e6:.0f}M field ops/s "
+          "(used to predict operation times)\n")
+
+    evaluations = [
+        evaluate(params, file_size, ops_per_second) for params in RCParams.grid(k, h)
+    ]
+
+    minimum_storage = min(evaluations, key=lambda e: (e["storage"], e["repair"]))
+    minimum_repair = min(evaluations, key=lambda e: (e["repair"], e["storage"]))
+    # Balanced: within 1% of minimal storage, then minimize repair.
+    storage_floor = minimum_storage["storage"]
+    balanced = min(
+        (e for e in evaluations if e["storage"] <= 1.01 * storage_floor),
+        key=lambda e: e["repair"],
+    )
+
+    rows = []
+    for label, chosen in [
+        ("min storage", minimum_storage),
+        ("min repair traffic", minimum_repair),
+        ("balanced (<=1% extra storage)", balanced),
+    ]:
+        params = chosen["params"]
+        rows.append(
+            [
+                label,
+                str(params),
+                format_bytes(chosen["storage"]),
+                format_bytes(chosen["repair"]),
+                f"{chosen['coefficients']:.4f}",
+                format_bandwidth(chosen["encoding_bnb"]),
+            ]
+        )
+    print(
+        render_table(
+            ["goal", "code", "storage", "repair traffic", "coeff bits/bit",
+             "encoding bnb"],
+            rows,
+        )
+    )
+    print(
+        "\nReading the last column: peers with less bandwidth than the "
+        "encoding bnb are network-bound (the code costs them nothing); "
+        "peers with more are CPU-bound."
+    )
+    if balanced["coefficients"] > 0.1:
+        print(
+            "warning: coefficient overhead above 10% -- store larger "
+            "objects or pick a smaller (d, i) (paper section 4.1)."
+        )
+
+
+if __name__ == "__main__":
+    main()

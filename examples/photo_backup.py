@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""A peer-to-peer photo backup community (the paper's motivating app).
+
+Section 1: storage peers are "common PCs equipped with high-capacity
+local disks, which are often underutilized".  This example simulates a
+small community backing up photo albums, with realistic asymmetric
+ADSL-like bandwidth, Weibull churn (heavy early departures), and eager
+maintenance -- then compares the traffic bill of a traditional erasure
+code against a Regenerating Code for the *same* durability.
+
+Run:  python examples/photo_backup.py
+"""
+
+import numpy as np
+
+from repro.codes import RandomLinearErasureScheme, RegeneratingCodeScheme
+from repro.core import RCParams
+from repro.p2p import (
+    BackupSystem,
+    SimulationConfig,
+    WeibullLifetime,
+)
+
+ALBUM_BYTES = 128 << 10  # one "album" (scaled down; costs are linear)
+ALBUMS = 3
+SIM_DAYS = 120
+
+
+def run_community(scheme, label: str) -> None:
+    config = SimulationConfig(
+        initial_peers=60,
+        # Weibull shape < 1: many peers try the app and leave quickly,
+        # the committed ones stay for months.
+        lifetime_model=WeibullLifetime(shape=0.6, scale=45.0),
+        peer_arrival_rate=1.0,  # one new peer a day keeps the community stable
+        upload_bps=1e6,  # ADSL: 1 Mbps up
+        download_bps=8e6,  # 8 Mbps down
+        bandwidth_jitter=0.3,
+        seconds_per_time_unit=86400.0,  # one time unit = one day
+        seed=7,
+    )
+    system = BackupSystem(scheme, config)
+
+    rng = np.random.default_rng(35)
+    albums = [
+        rng.integers(0, 256, size=ALBUM_BYTES, dtype=np.uint8).tobytes()
+        for _ in range(ALBUMS)
+    ]
+    album_ids = [system.insert_file(album) for album in albums]
+
+    system.run(SIM_DAYS)
+
+    recovered = 0
+    for album_id, album in zip(album_ids, albums):
+        if not system.files[album_id].lost and system.restore_file(album_id) == album:
+            recovered += 1
+
+    summary = system.metrics.summary()
+    print(f"\n== {label} ==")
+    print(f"  peers seen / departed : {len(system.peers)} / {summary['peer_deaths']:.0f}")
+    print(f"  repairs performed     : {summary['repairs_completed']:.0f}")
+    print(f"  repair traffic        : {summary['repair_bytes'] / (1 << 20):.2f} MB total, "
+          f"{summary['mean_repair_bytes'] / 1024:.1f} KB per repair")
+    print(f"  storage per album     : {summary['insert_bytes'] / ALBUMS / 1024:.0f} KB")
+    print(f"  albums recovered      : {recovered}/{ALBUMS} after {SIM_DAYS} days")
+
+
+def main() -> None:
+    print(f"Backing up {ALBUMS} albums of {ALBUM_BYTES >> 10} KB for {SIM_DAYS} days "
+          "of community churn...")
+    run_community(
+        RandomLinearErasureScheme(8, 8, rng=np.random.default_rng(1)),
+        "traditional erasure code (k=8, h=8)",
+    )
+    run_community(
+        RegeneratingCodeScheme(RCParams(k=8, h=8, d=10, i=1), rng=np.random.default_rng(2)),
+        "regenerating code RC(8,8,10,1)",
+    )
+    run_community(
+        RegeneratingCodeScheme(RCParams(k=8, h=8, d=15, i=7), rng=np.random.default_rng(3)),
+        "regenerating code RC(8,8,15,7) (MBR: minimum repair traffic)",
+    )
+    print(
+        "\nSame redundancy (k=8, h=8), same churn: the Regenerating Codes "
+        "cut the per-repair traffic, which is exactly the paper's case for "
+        "using them in backup systems where maintenance dominates."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+"""Measurement and reporting harness for the paper's evaluation (section 5).
+
+- :mod:`repro.analysis.timing` -- wall-clock timing of the five
+  life-cycle operations (the t_{d,i} measurements of section 5.1);
+- :mod:`repro.analysis.overhead` -- computation-overhead grids
+  r_cpu = t_{d,i} / t_{32,0} (figure 4), measured and analytic;
+- :mod:`repro.analysis.tradeoff` -- the storage/communication/computation
+  trade-off space (figure 5);
+- :mod:`repro.analysis.figures` -- per-figure data series generators;
+- :mod:`repro.analysis.tables` -- text renderers for the paper's tables.
+"""
+
+from repro.analysis.durability import DurabilityModel, mttdl_for_params
+from repro.analysis.overhead import analytic_overhead_grid, measured_overhead_grid
+from repro.analysis.tables import format_bandwidth, format_bytes, render_table
+from repro.analysis.timing import (
+    OperationTimings,
+    calibrate_ops_per_second,
+    time_operations,
+)
+from repro.analysis.tradeoff import SchemePoint, pareto_front, tradeoff_points
+
+__all__ = [
+    "DurabilityModel",
+    "OperationTimings",
+    "SchemePoint",
+    "mttdl_for_params",
+    "analytic_overhead_grid",
+    "calibrate_ops_per_second",
+    "format_bandwidth",
+    "format_bytes",
+    "measured_overhead_grid",
+    "pareto_front",
+    "render_table",
+    "time_operations",
+    "tradeoff_points",
+]

@@ -1,0 +1,98 @@
+"""Data-series generators, one per figure of the paper.
+
+Each function returns plain Python data (lists of (x, y) pairs keyed by
+curve) so benchmarks can print the series and tests can assert the
+published shapes without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.costs import coefficient_overhead
+from repro.core.params import RCParams
+
+__all__ = [
+    "fig1a_piece_stretch",
+    "fig1b_repair_reduction",
+    "fig3_coefficient_overhead",
+    "PAPER_FIG1A_I_VALUES",
+    "PAPER_FIG1B_I_VALUES",
+]
+
+#: Curve indices the paper plots in figure 1(a) and figure 3.
+PAPER_FIG1A_I_VALUES = (0, 7, 15, 22, 31)
+#: Curve indices the paper plots in figure 1(b).
+PAPER_FIG1B_I_VALUES = (0, 3, 7, 15, 31)
+
+
+def _d_range(k: int, h: int) -> range:
+    return range(k, k + h)
+
+
+def paper_i_values(k: int, reference=PAPER_FIG1A_I_VALUES) -> tuple[int, ...]:
+    """The paper's curve indices, scaled to another k (k = 32 unchanged)."""
+    if k == 32:
+        return tuple(reference)
+    scaled = sorted({round(i / 31 * (k - 1)) for i in reference})
+    return tuple(scaled)
+
+
+def fig1a_piece_stretch(
+    k: int = 32, h: int = 32, i_values: Sequence[int] = PAPER_FIG1A_I_VALUES
+) -> dict[int, list[tuple[int, float]]]:
+    """Figure 1(a): piece-size stretch vs d, one curve per i.
+
+    Values are |piece| normalized by the traditional erasure code's
+    |file| / k; the (d = k, i = 0) point is exactly 1.
+    """
+    series = {}
+    for i in i_values:
+        series[i] = [
+            (d, float(RCParams(k=k, h=h, d=d, i=i).piece_stretch))
+            for d in _d_range(k, h)
+        ]
+    return series
+
+
+def fig1b_repair_reduction(
+    k: int = 32, h: int = 32, i_values: Sequence[int] = PAPER_FIG1B_I_VALUES
+) -> dict[int, list[tuple[int, float]]]:
+    """Figure 1(b): repair-traffic reduction vs d (log scale in the paper).
+
+    Values are |repair_down| normalized by the erasure code's |file|;
+    the minimum ( ~0.04 for k = h = 32) is reached at d = k + h - 1 with
+    large i -- "an impressive reduction of the repair traffic".
+    """
+    series = {}
+    for i in i_values:
+        series[i] = [
+            (d, float(RCParams(k=k, h=h, d=d, i=i).repair_reduction))
+            for d in _d_range(k, h)
+        ]
+    return series
+
+
+def fig3_coefficient_overhead(
+    file_size: int = 1 << 20,
+    k: int = 32,
+    h: int = 32,
+    q: int = 16,
+    i_values: Sequence[int] = PAPER_FIG1A_I_VALUES,
+) -> dict[int, list[tuple[int, float]]]:
+    """Figure 3: coefficient overhead r_coeff vs d for a 1 MByte file.
+
+    The worst configuration (d = 63, i = 31) exceeds 4 bits of
+    coefficients per data bit, the paper's headline warning that
+    Regenerating Codes need large minimum object sizes.
+    """
+    series = {}
+    for i in i_values:
+        series[i] = [
+            (
+                d,
+                float(coefficient_overhead(RCParams(k=k, h=h, d=d, i=i), file_size, q)),
+            )
+            for d in _d_range(k, h)
+        ]
+    return series

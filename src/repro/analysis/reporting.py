@@ -1,0 +1,149 @@
+"""Report generation: export every reproduced artifact as CSV/markdown.
+
+The benchmark harness prints tables to the terminal; downstream users
+often want the raw series for their own plots.  ``export_all`` writes
+one CSV per figure/table into a directory plus an ``index.md`` summary,
+making a full paper-artifact bundle a one-liner:
+
+    from repro.analysis.reporting import export_all
+    export_all("artifacts/")
+"""
+
+from __future__ import annotations
+
+import csv
+import pathlib
+from typing import Sequence
+
+from repro.analysis.figures import (
+    PAPER_FIG1A_I_VALUES,
+    PAPER_FIG1B_I_VALUES,
+    fig1a_piece_stretch,
+    fig1b_repair_reduction,
+    fig3_coefficient_overhead,
+    paper_i_values,
+)
+from repro.analysis.overhead import analytic_overhead_grid
+from repro.analysis.tradeoff import tradeoff_points
+from repro.core.bandwidth import Operation
+
+__all__ = ["write_series_csv", "write_grid_csv", "export_all"]
+
+
+def write_series_csv(path, series: dict[int, list[tuple[int, float]]], value_name: str) -> None:
+    """Write {curve -> [(x, y)]} as tidy CSV columns (curve, x, value)."""
+    path = pathlib.Path(path)
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["i", "d", value_name])
+        for curve in sorted(series):
+            for x, y in series[curve]:
+                writer.writerow([curve, x, repr(y)])
+
+
+def write_grid_csv(path, grid) -> None:
+    """Write an OverheadGrid as tidy CSV (d, i, overhead)."""
+    path = pathlib.Path(path)
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["d", "i", "overhead"])
+        for d in grid.d_values:
+            for i in grid.i_values:
+                writer.writerow([d, i, repr(grid.at(d, i))])
+
+
+def write_tradeoff_csv(path, points) -> None:
+    path = pathlib.Path(path)
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["scheme", "storage_overhead", "repair_traffic", "computation"])
+        for point in points:
+            writer.writerow(
+                [
+                    point.label,
+                    repr(point.storage_overhead),
+                    repr(point.repair_traffic),
+                    repr(point.computation),
+                ]
+            )
+
+
+def export_all(
+    directory,
+    k: int = 32,
+    h: int = 32,
+    file_size: int = 1 << 20,
+) -> list[pathlib.Path]:
+    """Export every analytic artifact; returns the written paths.
+
+    Measured artifacts (t(32,0), Table 1 bandwidths, measured figure 4)
+    are intentionally excluded -- they depend on the machine and are
+    produced by the benchmark harness instead.
+    """
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written = []
+
+    def emit(name: str, writer_fn) -> None:
+        path = directory / name
+        writer_fn(path)
+        written.append(path)
+
+    fig1a_curves = paper_i_values(k, PAPER_FIG1A_I_VALUES)
+    fig1b_curves = paper_i_values(k, PAPER_FIG1B_I_VALUES)
+    emit(
+        "fig1a_piece_stretch.csv",
+        lambda path: write_series_csv(
+            path, fig1a_piece_stretch(k, h, fig1a_curves), "piece_stretch"
+        ),
+    )
+    emit(
+        "fig1b_repair_reduction.csv",
+        lambda path: write_series_csv(
+            path, fig1b_repair_reduction(k, h, fig1b_curves), "repair_reduction"
+        ),
+    )
+    emit(
+        "fig3_coefficient_overhead.csv",
+        lambda path: write_series_csv(
+            path,
+            fig3_coefficient_overhead(file_size, k, h, i_values=fig1a_curves),
+            "coefficient_overhead",
+        ),
+    )
+    grids = analytic_overhead_grid(k, h, file_size)
+    for operation in Operation:
+        emit(
+            f"fig4_{operation.value}_overhead.csv",
+            lambda path, operation=operation: write_grid_csv(path, grids[operation]),
+        )
+    emit(
+        "fig5_tradeoff.csv",
+        lambda path: write_tradeoff_csv(path, tradeoff_points(k, h, file_size)),
+    )
+
+    index = directory / "index.md"
+    lines = [
+        "# Reproduced artifacts",
+        "",
+        f"Parameters: k = {k}, h = {h}, file size = {file_size} bytes.",
+        "",
+        "| file | paper artifact |",
+        "|---|---|",
+        "| fig1a_piece_stretch.csv | Figure 1(a) |",
+        "| fig1b_repair_reduction.csv | Figure 1(b) |",
+        "| fig3_coefficient_overhead.csv | Figure 3 |",
+    ]
+    lines.extend(
+        f"| fig4_{operation.value}_overhead.csv | Figure 4 ({operation.value}) |"
+        for operation in Operation
+    )
+    lines.append("| fig5_tradeoff.csv | Figure 5 |")
+    lines.append("")
+    lines.append(
+        "Measured artifacts (t(32,0), Table 1, measured figure 4) come from "
+        "`pytest benchmarks/ --benchmark-only`."
+    )
+    index.write_text("\n".join(lines))
+    written.append(index)
+    return written

@@ -1,0 +1,63 @@
+"""Plain-text table rendering for benchmark output.
+
+The benchmark harness prints the same rows the paper's tables report;
+these helpers keep the formatting consistent (and match the paper's
+unit conventions: Kbps/Mbps for bandwidths, KB/MB for sizes).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_bandwidth", "format_bytes", "format_seconds", "render_table"]
+
+
+def format_bandwidth(bits_per_second: float) -> str:
+    """Render like the paper's Table 1: '777.3 Mbps', '655 Kbps'."""
+    if bits_per_second == float("inf"):
+        return "no limit"
+    if bits_per_second >= 1e9:
+        return f"{bits_per_second / 1e9:.2f} Gbps"
+    if bits_per_second >= 1e6:
+        return f"{bits_per_second / 1e6:.1f} Mbps"
+    if bits_per_second >= 1e3:
+        return f"{bits_per_second / 1e3:.0f} Kbps"
+    return f"{bits_per_second:.0f} bps"
+
+
+def format_bytes(size: float) -> str:
+    """Render like the paper: '42.47 KB', '2.006 MB' (binary units)."""
+    if size >= 1 << 20:
+        return f"{size / (1 << 20):.3f} MB"
+    if size >= 1 << 10:
+        return f"{size / (1 << 10):.2f} KB"
+    return f"{size:.0f} B"
+
+
+def format_seconds(seconds: float) -> str:
+    if seconds == 0:
+        return "0"
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.0f} us"
+    if seconds < 1:
+        return f"{seconds * 1e3:.1f} ms"
+    return f"{seconds:.2f} s"
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """Fixed-width text table with a header rule."""
+    columns = len(headers)
+    for row in rows:
+        if len(row) != columns:
+            raise ValueError(f"row {row!r} does not match {columns} headers")
+    widths = [
+        max(len(str(headers[col])), max((len(str(row[col])) for row in rows), default=0))
+        for col in range(columns)
+    ]
+    def fmt(cells):
+        return "  ".join(str(cell).rjust(width) for cell, width in zip(cells, widths))
+
+    rule = "-" * (sum(widths) + 2 * (columns - 1))
+    lines = [fmt(headers), rule]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)

@@ -1,0 +1,127 @@
+"""The storage / communication / computation trade-off space (figure 5).
+
+Figure 5 of the paper is a schematic placing replication, traditional
+erasure codes, MSR and MBR codes in a triangle of the three costs.
+This module computes the *actual* positions: every scheme is reduced to
+a normalized cost triple
+
+    (storage overhead, repair traffic / |file|, computation ops / |file|)
+
+so the schematic becomes a measurable, plottable data set, including
+every intermediate RC(k, h, d, i) configuration.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, Sequence
+
+from repro.core.costs import CostModel
+from repro.core.params import RCParams
+
+__all__ = ["SchemePoint", "tradeoff_points", "replication_point", "pareto_front"]
+
+
+@dataclasses.dataclass(frozen=True)
+class SchemePoint:
+    """One scheme's normalized position in the trade-off space."""
+
+    label: str
+    storage_overhead: float
+    repair_traffic: float
+    computation: float
+    params: RCParams | None = None
+
+    def dominates(self, other: "SchemePoint") -> bool:
+        """Pareto dominance: no worse on all axes, better on one."""
+        no_worse = (
+            self.storage_overhead <= other.storage_overhead
+            and self.repair_traffic <= other.repair_traffic
+            and self.computation <= other.computation
+        )
+        better = (
+            self.storage_overhead < other.storage_overhead
+            or self.repair_traffic < other.repair_traffic
+            or self.computation < other.computation
+        )
+        return no_worse and better
+
+
+def _computation_per_byte(params: RCParams, file_size: int, q: int) -> float:
+    """Maintenance-cycle field ops per file byte (repair is the dominant
+    recurring operation in a backup system, section 5.2)."""
+    model = CostModel(params, file_size, q=q)
+    repair_total = params.d * float(model.participant_repair_ops()) + float(
+        model.newcomer_repair_ops()
+    )
+    return repair_total / file_size
+
+
+def replication_point(replicas: int) -> SchemePoint:
+    """Replication: storage = n copies, repair reads one copy, zero CPU."""
+    if replicas < 1:
+        raise ValueError("need at least one replica")
+    return SchemePoint(
+        label=f"replication(x{replicas})",
+        storage_overhead=float(replicas),
+        repair_traffic=1.0,
+        computation=0.0,
+        params=None,
+    )
+
+
+def rc_point(params: RCParams, file_size: int = 1 << 20, q: int = 16) -> SchemePoint:
+    """One RC(k, h, d, i) configuration as a trade-off point."""
+    if params.is_erasure:
+        label = f"erasure(k={params.k})"
+    elif params.is_mbr and params.d == params.k + params.h - 1:
+        label = "MBR"
+    elif params.is_msr and params.d == params.k + params.h - 1:
+        label = "MSR"
+    else:
+        label = str(params)
+    return SchemePoint(
+        label=label,
+        storage_overhead=float(params.storage_size(file_size)) / file_size,
+        repair_traffic=float(params.repair_download_size(file_size)) / file_size,
+        computation=_computation_per_byte(params, file_size, q),
+        params=params,
+    )
+
+
+def tradeoff_points(
+    k: int = 32,
+    h: int = 32,
+    file_size: int = 1 << 20,
+    q: int = 16,
+    include_replication: bool = True,
+    configurations: Sequence[RCParams] | None = None,
+) -> list[SchemePoint]:
+    """The figure-5 data set: named corners plus chosen RC configurations.
+
+    By default includes the four corners of the paper's schematic
+    (replication, erasure, MSR, MBR) and the two mid-range codes the
+    paper highlights in Table 1 ((32,30) and (40,1)).
+    """
+    if configurations is None:
+        configurations = [
+            RCParams.erasure(k, h),
+            RCParams.msr(k, h),
+            RCParams.mbr(k, h),
+            RCParams(k=k, h=h, d=k, i=k - 2),
+            RCParams(k=k, h=h, d=min(k + 8, k + h - 1), i=1),
+        ]
+    points = [rc_point(params, file_size, q) for params in configurations]
+    if include_replication:
+        points.insert(0, replication_point(replicas=1 + h // k))
+    return points
+
+
+def pareto_front(points: Iterable[SchemePoint]) -> list[SchemePoint]:
+    """Points not dominated by any other point (the efficient frontier)."""
+    points = list(points)
+    return [
+        point
+        for point in points
+        if not any(other.dominates(point) for other in points if other is not point)
+    ]

@@ -1,0 +1,433 @@
+"""Command-line interface: back up real files with Regenerating Codes.
+
+Subcommands mirror the paper's life cycle:
+
+    repro encode  FILE -k 8 -H 8 -d 10 -i 1 --out-dir pieces/
+    repro info    pieces/piece_00.rgc
+    repro repair  --manifest pieces/manifest.json --lost 3 \
+                  --out pieces/piece_03.rgc pieces/piece_*.rgc
+    repro decode  --manifest pieces/manifest.json --out restored.bin \
+                  pieces/piece_*.rgc
+
+Pieces use the versioned binary format of
+:mod:`repro.core.serialization`; the manifest is a small JSON file with
+the code parameters and original file size.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+import numpy as np
+
+from repro.core.params import RCParams
+from repro.core.regenerating import DecodingError, RandomLinearRegeneratingCode
+from repro.core.serialization import (
+    SerializationError,
+    piece_from_bytes,
+    piece_to_bytes,
+)
+from repro.gf.field import GF
+
+__all__ = ["main", "build_parser"]
+
+MANIFEST_NAME = "manifest.json"
+
+
+def _load_manifest(path: pathlib.Path) -> dict:
+    with open(path) as handle:
+        manifest = json.load(handle)
+    for key in ("k", "h", "d", "i", "q", "file_size"):
+        if key not in manifest:
+            raise SystemExit(f"manifest {path} is missing the '{key}' field")
+    return manifest
+
+
+def _code_from_manifest(manifest: dict, seed: int | None) -> RandomLinearRegeneratingCode:
+    params = RCParams(k=manifest["k"], h=manifest["h"], d=manifest["d"], i=manifest["i"])
+    rng = np.random.default_rng(seed)
+    return RandomLinearRegeneratingCode(params, field=GF(manifest["q"]), rng=rng)
+
+
+def _read_pieces(paths: list[str]):
+    pieces = []
+    for path in paths:
+        blob = pathlib.Path(path).read_bytes()
+        try:
+            piece, _ = piece_from_bytes(blob)
+        except SerializationError as exc:
+            raise SystemExit(f"{path}: {exc}") from exc
+        pieces.append(piece)
+    return pieces
+
+
+# ----------------------------------------------------------------------
+# subcommands
+# ----------------------------------------------------------------------
+
+
+def cmd_encode(args: argparse.Namespace) -> int:
+    source = pathlib.Path(args.file)
+    data = source.read_bytes()
+    params = RCParams(k=args.k, h=args.h, d=args.d, i=args.i)
+    code = RandomLinearRegeneratingCode(
+        params, field=GF(args.q), rng=np.random.default_rng(args.seed)
+    )
+    out_dir = pathlib.Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    manifest = {
+        "k": params.k,
+        "h": params.h,
+        "d": params.d,
+        "i": params.i,
+        "q": code.field.q,
+        "file_size": len(data),
+        "source_name": source.name,
+    }
+    if args.chunk_size:
+        from repro.core.chunking import ChunkedCodec
+
+        codec = ChunkedCodec(code, chunk_size=args.chunk_size)
+        chunked = codec.insert(data)
+        for chunk_index, chunk in enumerate(chunked.chunks):
+            chunk_dir = out_dir / f"chunk_{chunk_index:04d}"
+            chunk_dir.mkdir(exist_ok=True)
+            for piece in chunk.pieces:
+                path = chunk_dir / f"piece_{piece.index:03d}.rgc"
+                path.write_bytes(piece_to_bytes(piece, code.field))
+        manifest["chunks"] = chunked.chunk_count
+        manifest["chunk_size"] = args.chunk_size
+        description = f"{chunked.chunk_count} chunks x {len(chunked.chunks[0])} pieces"
+    else:
+        encoded = code.insert(data)
+        for piece in encoded.pieces:
+            path = out_dir / f"piece_{piece.index:03d}.rgc"
+            path.write_bytes(piece_to_bytes(piece, code.field))
+        manifest["padded_size"] = encoded.padded_size
+        description = f"{len(encoded)} pieces"
+    with open(out_dir / MANIFEST_NAME, "w") as handle:
+        json.dump(manifest, handle, indent=2)
+    print(
+        f"encoded {source} ({len(data)} bytes) into {description} "
+        f"under {out_dir} ({params})"
+    )
+    return 0
+
+
+def _decode_chunked(args: argparse.Namespace, manifest: dict) -> int:
+    """Decode a --chunk-size encoding: positional arg is the pieces root."""
+    code = _code_from_manifest(manifest, args.seed)
+    if len(args.pieces) != 1:
+        raise SystemExit(
+            "chunked decode takes the pieces root directory as its only "
+            "positional argument"
+        )
+    root = pathlib.Path(args.pieces[0])
+    parts = []
+    for chunk_index in range(manifest["chunks"]):
+        chunk_dir = root / f"chunk_{chunk_index:04d}"
+        piece_paths = sorted(chunk_dir.glob("piece_*.rgc"))
+        if len(piece_paths) < code.params.k:
+            print(
+                f"chunk {chunk_index}: only {len(piece_paths)} pieces present, "
+                f"need {code.params.k}",
+                file=sys.stderr,
+            )
+            return 1
+        pieces = _read_pieces([str(path) for path in piece_paths])
+        try:
+            remaining = manifest["file_size"] - chunk_index * manifest["chunk_size"]
+            chunk_bytes = min(manifest["chunk_size"], max(remaining, 0))
+            parts.append(code.reconstruct(pieces, chunk_bytes))
+        except DecodingError as exc:
+            print(f"chunk {chunk_index} decode failed: {exc}", file=sys.stderr)
+            return 1
+    pathlib.Path(args.out).write_bytes(b"".join(parts))
+    print(
+        f"decoded {manifest['file_size']} bytes from {manifest['chunks']} chunks "
+        f"into {args.out}"
+    )
+    return 0
+
+
+def cmd_decode(args: argparse.Namespace) -> int:
+    manifest = _load_manifest(pathlib.Path(args.manifest))
+    if "chunks" in manifest:
+        return _decode_chunked(args, manifest)
+    code = _code_from_manifest(manifest, args.seed)
+    pieces = _read_pieces(args.pieces)
+    try:
+        data = code.reconstruct(pieces, manifest["file_size"])
+    except DecodingError as exc:
+        print(f"decode failed: {exc}", file=sys.stderr)
+        print("fetch one more piece and retry", file=sys.stderr)
+        return 1
+    pathlib.Path(args.out).write_bytes(data)
+    print(f"decoded {len(data)} bytes from {len(pieces)} pieces into {args.out}")
+    return 0
+
+
+def cmd_repair(args: argparse.Namespace) -> int:
+    manifest = _load_manifest(pathlib.Path(args.manifest))
+    code = _code_from_manifest(manifest, args.seed)
+    pieces = [piece for piece in _read_pieces(args.pieces) if piece.index != args.lost]
+    if len(pieces) < code.params.d:
+        print(
+            f"repair needs d={code.params.d} surviving pieces, got {len(pieces)}",
+            file=sys.stderr,
+        )
+        return 1
+    result = code.repair(pieces[: code.params.d], index=args.lost)
+    pathlib.Path(args.out).write_bytes(piece_to_bytes(result.piece, code.field))
+    print(
+        f"regenerated piece {args.lost} from d={code.params.d} peers; "
+        f"repair moved {result.total_bytes} bytes "
+        f"(payload {result.payload_bytes} + coefficients {result.coefficient_bytes})"
+    )
+    return 0
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    for path in args.pieces:
+        blob = pathlib.Path(path).read_bytes()
+        try:
+            piece, field = piece_from_bytes(blob)
+        except SerializationError as exc:
+            print(f"{path}: invalid ({exc})")
+            continue
+        print(
+            f"{path}: piece {piece.index}, {piece.n_piece} fragments x "
+            f"{piece.fragment_length} elements over GF(2^{field.q}), "
+            f"{piece.storage_bytes(field)} bytes on disk "
+            f"({piece.coefficient_bytes(field)} of coefficients)"
+        )
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    """Run a churn simulation and print the cost/durability summary."""
+    import repro.codes as codes
+    from repro.p2p.availability import ExponentialOnOff
+    from repro.p2p.churn import ExponentialLifetime
+    from repro.p2p.maintenance import EagerMaintenance, LazyMaintenance
+    from repro.p2p.system import BackupSystem, SimulationConfig
+    from repro.p2p.traces import ChurnTrace, apply_trace, generate_trace
+
+    rng = np.random.default_rng(args.seed)
+    scheme_factories = {
+        "replication": lambda: codes.ReplicationScheme(args.k + args.h),
+        "erasure": lambda: codes.RandomLinearErasureScheme(args.k, args.h, rng=rng),
+        "reed-solomon": lambda: codes.ReedSolomonScheme(args.k, args.h),
+        "hybrid": lambda: codes.HybridScheme(args.k, args.h),
+        "rc": lambda: codes.RegeneratingCodeScheme(
+            RCParams(args.k, args.h, args.d or args.k, args.i), rng=rng
+        ),
+        "pm-mbr": lambda: codes.ProductMatrixMBR(
+            n=args.k + args.h, k=args.k, d=args.d or args.k
+        ),
+        "pm-msr": lambda: codes.ProductMatrixMSR(n=args.k + args.h, k=args.k),
+    }
+    scheme = scheme_factories[args.scheme]()
+    policy = (
+        LazyMaintenance(threshold=args.lazy_threshold)
+        if args.lazy_threshold is not None
+        else EagerMaintenance()
+    )
+
+    if args.trace:
+        trace = ChurnTrace.load(args.trace)
+        config = SimulationConfig(initial_peers=0, seed=args.seed)
+        system = BackupSystem(scheme, config, policy=policy)
+        apply_trace(system, trace)
+        system.queue.run_until(0.0)
+        horizon = min(args.horizon, trace.horizon)
+    else:
+        availability = (
+            ExponentialOnOff(args.mean_online, args.mean_offline)
+            if args.mean_offline
+            else None
+        )
+        config_kwargs = dict(
+            initial_peers=args.peers,
+            lifetime_model=ExponentialLifetime(args.mean_lifetime),
+            peer_arrival_rate=args.arrival_rate,
+            seed=args.seed,
+        )
+        if availability is not None:
+            config_kwargs["availability_model"] = availability
+        system = BackupSystem(scheme, SimulationConfig(**config_kwargs), policy=policy)
+        horizon = args.horizon
+        if args.save_trace:
+            generate_trace(
+                peers=args.peers,
+                horizon=args.horizon,
+                lifetime_model=ExponentialLifetime(args.mean_lifetime),
+                arrival_rate=args.arrival_rate,
+                seed=args.seed,
+            ).save(args.save_trace)
+
+    data = rng.integers(0, 256, size=args.file_size, dtype=np.uint8).tobytes()
+    file_ids = [system.insert_file(data) for _ in range(args.files)]
+    system.run(horizon)
+    restored = 0
+    for file_id in file_ids:
+        try:
+            if not system.files[file_id].lost and system.restore_file(file_id) == data:
+                restored += 1
+        except Exception:
+            pass
+
+    print(f"scheme: {scheme.name}, policy: {policy!r}, horizon: {horizon}")
+    for key, value in system.metrics.summary().items():
+        print(f"  {key:22s} {value:,.10g}")
+    print(f"  {'files_restored_ok':22s} {restored}/{args.files}")
+    return 0 if restored == args.files else 2
+
+
+def cmd_export(args: argparse.Namespace) -> int:
+    """Export the analytic paper artifacts (figures 1, 3, 4, 5) as CSV."""
+    from repro.analysis.reporting import export_all
+
+    written = export_all(
+        args.out_dir, k=args.k, h=args.h, file_size=args.file_size
+    )
+    for path in written:
+        print(f"wrote {path}")
+    return 0
+
+
+def cmd_advise(args: argparse.Namespace) -> int:
+    from repro.core.costs import coefficient_overhead
+
+    candidates = list(RCParams.grid(args.k, args.h))
+    minimum_storage = min(candidates, key=lambda p: (p.piece_fraction, p.repair_fraction))
+    minimum_repair = min(
+        candidates, key=lambda p: (p.repair_download_size(1), p.piece_fraction)
+    )
+    floor = minimum_storage.piece_fraction
+    balanced = min(
+        (p for p in candidates if p.piece_fraction <= floor * 101 / 100),
+        key=lambda p: p.repair_download_size(1),
+    )
+    print(f"for k={args.k}, h={args.h}, file size {args.file_size} bytes:")
+    for label, params in [
+        ("min storage ", minimum_storage),
+        ("min repair  ", minimum_repair),
+        ("balanced    ", balanced),
+    ]:
+        storage = float(params.storage_size(args.file_size))
+        repair = float(params.repair_download_size(args.file_size))
+        overhead = float(coefficient_overhead(params, args.file_size))
+        print(
+            f"  {label} {params}: storage {storage:.0f} B, "
+            f"repair {repair:.0f} B, coefficients {overhead:.4f} bits/bit"
+        )
+    return 0
+
+
+# ----------------------------------------------------------------------
+# parser
+# ----------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerating-code backup tool (Duminuco & Biersack, ICDCS 2009)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    encode = subparsers.add_parser("encode", help="split a file into coded pieces")
+    encode.add_argument("file")
+    encode.add_argument("-k", type=int, default=8, help="pieces needed to decode")
+    encode.add_argument("-H", "--redundancy", dest="h", type=int, default=8,
+                        help="extra pieces (losses tolerated)")
+    encode.add_argument("-d", type=int, default=None, help="repair degree (default k)")
+    encode.add_argument("-i", type=int, default=0, help="piece expansion index")
+    encode.add_argument("-q", type=int, default=16, choices=(8, 16), help="field exponent")
+    encode.add_argument("--out-dir", default="pieces")
+    encode.add_argument("--chunk-size", type=int, default=None,
+                        help="split the file into independently coded chunks "
+                             "of this many bytes (see also 'advise')")
+    encode.add_argument("--seed", type=int, default=None)
+    encode.set_defaults(handler=cmd_encode)
+
+    decode = subparsers.add_parser("decode", help="reconstruct a file from pieces")
+    decode.add_argument("pieces", nargs="+")
+    decode.add_argument("--manifest", required=True)
+    decode.add_argument("--out", required=True)
+    decode.add_argument("--seed", type=int, default=None)
+    decode.set_defaults(handler=cmd_decode)
+
+    repair = subparsers.add_parser("repair", help="regenerate a lost piece")
+    repair.add_argument("pieces", nargs="+", help="surviving piece files")
+    repair.add_argument("--manifest", required=True)
+    repair.add_argument("--lost", type=int, required=True, help="index to regenerate")
+    repair.add_argument("--out", required=True)
+    repair.add_argument("--seed", type=int, default=None)
+    repair.set_defaults(handler=cmd_repair)
+
+    info = subparsers.add_parser("info", help="describe piece files")
+    info.add_argument("pieces", nargs="+")
+    info.set_defaults(handler=cmd_info)
+
+    simulate = subparsers.add_parser(
+        "simulate", help="run a P2P churn simulation and report costs"
+    )
+    simulate.add_argument(
+        "--scheme",
+        default="rc",
+        choices=["replication", "erasure", "reed-solomon", "hybrid", "rc", "pm-mbr", "pm-msr"],
+    )
+    simulate.add_argument("-k", type=int, default=8)
+    simulate.add_argument("-H", "--redundancy", dest="h", type=int, default=8)
+    simulate.add_argument("-d", type=int, default=None)
+    simulate.add_argument("-i", type=int, default=0)
+    simulate.add_argument("--peers", type=int, default=48)
+    simulate.add_argument("--mean-lifetime", type=float, default=300.0)
+    simulate.add_argument("--arrival-rate", type=float, default=0.15)
+    simulate.add_argument("--mean-online", type=float, default=50.0)
+    simulate.add_argument("--mean-offline", type=float, default=0.0,
+                          help="enable transient churn with this mean outage")
+    simulate.add_argument("--files", type=int, default=3)
+    simulate.add_argument("--file-size", type=int, default=16 << 10)
+    simulate.add_argument("--horizon", type=float, default=500.0)
+    simulate.add_argument("--lazy-threshold", type=int, default=None,
+                          help="use lazy maintenance with this threshold")
+    simulate.add_argument("--trace", default=None, help="replay a churn trace file")
+    simulate.add_argument("--save-trace", default=None,
+                          help="also save the equivalent generated trace")
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.set_defaults(handler=cmd_simulate)
+
+    advise = subparsers.add_parser("advise", help="recommend (d, i) parameters")
+    advise.add_argument("-k", type=int, default=32)
+    advise.add_argument("-H", "--redundancy", dest="h", type=int, default=32)
+    advise.add_argument("--file-size", type=int, default=1 << 20)
+    advise.set_defaults(handler=cmd_advise)
+
+    export = subparsers.add_parser(
+        "export", help="export the paper's analytic figures/tables as CSV"
+    )
+    export.add_argument("--out-dir", default="artifacts")
+    export.add_argument("-k", type=int, default=32)
+    export.add_argument("-H", "--redundancy", dest="h", type=int, default=32)
+    export.add_argument("--file-size", type=int, default=1 << 20)
+    export.set_defaults(handler=cmd_export)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if getattr(args, "command", None) == "encode" and args.d is None:
+        args.d = args.k
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,153 @@
+"""Traditional random linear erasure codes (paper section 3.1).
+
+The degenerate Regenerating Code RC(k, h, k, 0): the file is split into
+k fragments, each piece is one random linear combination of them, and a
+repair transfers k *whole pieces* to the newcomer ("for every new bit
+that we create during a repair, k existing bits needs to be
+transferred", section 2.1).  Participants perform no computation -- they
+upload their stored piece verbatim -- which is why the paper normalizes
+figure 4(b) by the first non-zero configuration instead.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.codes.base import (
+    Block,
+    EncodedObject,
+    ReconstructError,
+    RedundancyScheme,
+    RepairError,
+    RepairOutcome,
+)
+from repro.core.blocks import Piece
+from repro.core.params import RCParams
+from repro.core.regenerating import DecodingError, RandomLinearRegeneratingCode
+from repro.gf.field import GaloisField
+
+__all__ = ["RandomLinearErasureScheme"]
+
+
+class RandomLinearErasureScheme(RedundancyScheme):
+    """A (k, h) random linear erasure code with the classic repair rule."""
+
+    name = "erasure"
+
+    def __init__(
+        self,
+        k: int,
+        h: int,
+        field: GaloisField | None = None,
+        rng: np.random.Generator | None = None,
+    ):
+        self.params = RCParams.erasure(k, h)
+        self.code = RandomLinearRegeneratingCode(self.params, field=field, rng=rng)
+        self.name = f"erasure(k={k},h={h})"
+
+    @property
+    def field(self) -> GaloisField:
+        return self.code.field
+
+    @property
+    def k(self) -> int:
+        return self.params.k
+
+    @property
+    def h(self) -> int:
+        return self.params.h
+
+    @property
+    def total_blocks(self) -> int:
+        return self.params.total_pieces
+
+    @property
+    def reconstruction_degree(self) -> int:
+        return self.params.k
+
+    # ------------------------------------------------------------------
+    # computation accounting (the RC(k, h, k, 0) degenerate cost model)
+    # ------------------------------------------------------------------
+
+    def _cost_model(self, file_size: int):
+        from repro.core.costs import CostModel
+
+        return CostModel(self.params, max(file_size, 1), q=self.field.q)
+
+    def insert_computation_ops(self, file_size: int) -> float:
+        return float(self._cost_model(file_size).encoding_ops())
+
+    def repair_computation_ops(self, file_size: int) -> float:
+        """Participants are free (they upload verbatim); newcomer combines."""
+        return float(self._cost_model(file_size).newcomer_repair_ops())
+
+    def reconstruct_computation_ops(self, file_size: int) -> float:
+        model = self._cost_model(file_size)
+        lower, _ = model.inversion_ops_bounds()
+        return float(lower) + float(model.decoding_ops())
+
+    # ------------------------------------------------------------------
+    # life cycle
+    # ------------------------------------------------------------------
+
+    def _block_from_piece(self, piece: Piece) -> Block:
+        return Block(
+            index=piece.index,
+            content=piece,
+            payload_bytes=piece.storage_bytes(self.field),
+        )
+
+    def encode(self, data: bytes) -> EncodedObject:
+        encoded = self.code.insert(data)
+        blocks = tuple(self._block_from_piece(piece) for piece in encoded.pieces)
+        return EncodedObject(
+            blocks=blocks,
+            file_size=len(data),
+            meta={"padded_size": encoded.padded_size, "n_file": encoded.n_file},
+        )
+
+    def reconstruct(self, encoded: EncodedObject, blocks: list[Block]) -> bytes:
+        pieces = [block.content for block in blocks]
+        try:
+            return self.code.reconstruct(pieces, encoded.file_size)
+        except DecodingError as exc:
+            raise ReconstructError(str(exc)) from exc
+
+    def repair(
+        self, encoded: EncodedObject, available: Mapping[int, Block], lost_index: int
+    ) -> RepairOutcome:
+        """Classic erasure repair: k whole pieces flow to the newcomer.
+
+        Participants upload their stored piece unchanged (zero
+        computation, section 5.1's t(32,0) table); the newcomer builds
+        the new piece as one random linear combination of the k received
+        pieces (section 3.1, maintenance).
+        """
+        if not 0 <= lost_index < self.total_blocks:
+            raise RepairError(f"no block slot {lost_index}")
+        survivors = sorted(index for index in available if index != lost_index)
+        if len(survivors) < self.k:
+            raise RepairError(
+                f"repair needs k={self.k} pieces, only {len(survivors)} survive"
+            )
+        participants = survivors[: self.k]
+        pieces: list[Piece] = [available[index].content for index in participants]
+        received_data = np.concatenate([piece.data for piece in pieces], axis=0)
+        received_coeffs = np.concatenate([piece.coefficients for piece in pieces], axis=0)
+        mixing = self.field.random(received_data.shape[0], self.code.rng)
+        new_piece = Piece(
+            index=lost_index,
+            data=self.field.linear_combination(mixing, received_data)[None, :],
+            coefficients=self.field.linear_combination(mixing, received_coeffs)[None, :],
+        )
+        uploaded = {
+            index: piece.storage_bytes(self.field)
+            for index, piece in zip(participants, pieces)
+        }
+        return RepairOutcome(
+            block=self._block_from_piece(new_piece),
+            participants=tuple(participants),
+            uploaded_per_participant=uploaded,
+        )

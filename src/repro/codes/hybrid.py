@@ -1,0 +1,174 @@
+"""The Rodrigues-Liskov hybrid scheme (paper reference [5], section 1).
+
+One special peer holds a **full replica** of the file; the remaining
+peers hold erasure-coded pieces.  Piece repairs are served by the
+replica holder, who re-encodes the lost piece locally and uploads just
+|piece| -- "a communication cost equal to the replication case".  The
+price, which the paper calls out, is the asymmetry: losing the replica
+itself triggers an expensive k-piece rebuild, and the replica consumes
+|file| of extra storage.
+
+Block index 0 is the replica; indices 1 .. k+h are the erasure pieces.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.codes.base import (
+    Block,
+    EncodedObject,
+    ReconstructError,
+    RedundancyScheme,
+    RepairError,
+    RepairOutcome,
+)
+from repro.codes.reed_solomon import ReedSolomonScheme
+from repro.gf.field import GaloisField
+
+__all__ = ["HybridScheme"]
+
+REPLICA_INDEX = 0
+
+
+class HybridScheme(RedundancyScheme):
+    """Full replica + (k, h) Reed-Solomon pieces behind one interface."""
+
+    name = "hybrid"
+
+    def __init__(
+        self,
+        k: int,
+        h: int,
+        field: GaloisField | None = None,
+        rng: np.random.Generator | None = None,
+    ):
+        self.inner = ReedSolomonScheme(k, h, field=field)
+        self.name = f"hybrid(k={k},h={h})"
+
+    @property
+    def k(self) -> int:
+        return self.inner.k
+
+    @property
+    def total_blocks(self) -> int:
+        return 1 + self.inner.total_blocks
+
+    @property
+    def reconstruction_degree(self) -> int:
+        """Worst case k pieces; the replica alone also suffices (best case 1)."""
+        return self.inner.k
+
+    # ------------------------------------------------------------------
+    # life cycle
+    # ------------------------------------------------------------------
+
+    def _shift(self, block: Block) -> Block:
+        """Erasure blocks live at indices 1..k+h in the hybrid namespace."""
+        return Block(
+            index=block.index + 1, content=block.content, payload_bytes=block.payload_bytes
+        )
+
+    def _unshift(self, block: Block) -> Block:
+        return Block(
+            index=block.index - 1, content=block.content, payload_bytes=block.payload_bytes
+        )
+
+    def encode(self, data: bytes) -> EncodedObject:
+        inner_encoded = self.inner.encode(data)
+        replica = Block(index=REPLICA_INDEX, content=data, payload_bytes=len(data))
+        blocks = (replica,) + tuple(self._shift(block) for block in inner_encoded.blocks)
+        meta = dict(inner_encoded.meta)
+        meta["inner_file_size"] = inner_encoded.file_size
+        return EncodedObject(blocks=blocks, file_size=len(data), meta=meta)
+
+    def _inner_encoded(self, encoded: EncodedObject) -> EncodedObject:
+        """View of the erasure layer for delegating to the inner code."""
+        inner_blocks = tuple(
+            self._unshift(block)
+            for block in encoded.blocks
+            if block.index != REPLICA_INDEX
+        )
+        return EncodedObject(
+            blocks=inner_blocks, file_size=encoded.file_size, meta=encoded.meta
+        )
+
+    def reconstruct(self, encoded: EncodedObject, blocks: list[Block]) -> bytes:
+        for block in blocks:
+            if block.index == REPLICA_INDEX:
+                return bytes(block.content)
+        inner_blocks = [self._unshift(block) for block in blocks]
+        try:
+            return self.inner.reconstruct(self._inner_encoded(encoded), inner_blocks)
+        except ReconstructError as exc:
+            raise ReconstructError(f"hybrid: {exc}") from exc
+
+    def repair(
+        self, encoded: EncodedObject, available: Mapping[int, Block], lost_index: int
+    ) -> RepairOutcome:
+        if not 0 <= lost_index < self.total_blocks:
+            raise RepairError(f"no block slot {lost_index}")
+        survivors = {index: block for index, block in available.items() if index != lost_index}
+
+        if lost_index == REPLICA_INDEX:
+            return self._repair_replica(encoded, survivors)
+
+        if REPLICA_INDEX in survivors:
+            return self._repair_piece_from_replica(encoded, survivors, lost_index)
+
+        # Degraded mode: replica is gone too; fall back to a k-piece repair
+        # of the erasure layer (and the replica will be repaired separately).
+        inner_available = {
+            index - 1: self._unshift(block)
+            for index, block in survivors.items()
+            if index != REPLICA_INDEX
+        }
+        outcome = self.inner.repair(
+            self._inner_encoded(encoded), inner_available, lost_index - 1
+        )
+        return RepairOutcome(
+            block=self._shift(outcome.block),
+            participants=tuple(index + 1 for index in outcome.participants),
+            uploaded_per_participant={
+                index + 1: size for index, size in outcome.uploaded_per_participant.items()
+            },
+        )
+
+    def _repair_piece_from_replica(
+        self, encoded: EncodedObject, survivors: Mapping[int, Block], lost_index: int
+    ) -> RepairOutcome:
+        """The scheme's selling point: rebuild a piece for |piece| traffic."""
+        replica = survivors[REPLICA_INDEX]
+        inner_encoded = self.inner.encode(bytes(replica.content))
+        rebuilt = inner_encoded.blocks[lost_index - 1]
+        new_block = self._shift(rebuilt)
+        return RepairOutcome(
+            block=new_block,
+            participants=(REPLICA_INDEX,),
+            uploaded_per_participant={REPLICA_INDEX: new_block.payload_bytes},
+        )
+
+    def _repair_replica(
+        self, encoded: EncodedObject, survivors: Mapping[int, Block]
+    ) -> RepairOutcome:
+        """Losing the replica costs a full k-piece reconstruction."""
+        inner_blocks = [
+            self._unshift(block)
+            for index, block in sorted(survivors.items())
+            if index != REPLICA_INDEX
+        ]
+        if len(inner_blocks) < self.inner.k:
+            raise RepairError(
+                f"replica repair needs k={self.inner.k} pieces, "
+                f"only {len(inner_blocks)} survive"
+            )
+        chosen = inner_blocks[: self.inner.k]
+        data = self.inner.reconstruct(self._inner_encoded(encoded), chosen)
+        replica = Block(index=REPLICA_INDEX, content=data, payload_bytes=len(data))
+        participants = tuple(block.index + 1 for block in chosen)
+        uploaded = {block.index + 1: block.payload_bytes for block in chosen}
+        return RepairOutcome(
+            block=replica, participants=participants, uploaded_per_participant=uploaded
+        )

@@ -1,0 +1,73 @@
+"""Replication: the trivial redundancy scheme (paper sections 1-2).
+
+Each block is a full copy of the file.  Insertion uploads n copies,
+a repair reads exactly one surviving copy ("in replication the repair of
+one replica needs that only one other replica is read"), and
+reconstruction reads one copy.  In the paper's framework replication is
+the k = 1 point of the design space with no computation at any phase.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.codes.base import (
+    Block,
+    EncodedObject,
+    ReconstructError,
+    RedundancyScheme,
+    RepairError,
+    RepairOutcome,
+)
+
+__all__ = ["ReplicationScheme"]
+
+
+class ReplicationScheme(RedundancyScheme):
+    """Store ``replicas`` full copies of the file on distinct peers."""
+
+    name = "replication"
+
+    def __init__(self, replicas: int):
+        if replicas < 1:
+            raise ValueError(f"need at least one replica, got {replicas}")
+        self.replicas = replicas
+
+    @property
+    def total_blocks(self) -> int:
+        return self.replicas
+
+    @property
+    def reconstruction_degree(self) -> int:
+        return 1
+
+    def encode(self, data: bytes) -> EncodedObject:
+        blocks = tuple(
+            Block(index=index, content=data, payload_bytes=len(data))
+            for index in range(self.replicas)
+        )
+        return EncodedObject(blocks=blocks, file_size=len(data))
+
+    def reconstruct(self, encoded: EncodedObject, blocks: list[Block]) -> bytes:
+        if not blocks:
+            raise ReconstructError("need at least one replica to reconstruct")
+        return bytes(blocks[0].content)
+
+    def repair(
+        self, encoded: EncodedObject, available: Mapping[int, Block], lost_index: int
+    ) -> RepairOutcome:
+        if not 0 <= lost_index < self.replicas:
+            raise RepairError(f"no replica slot {lost_index}")
+        survivors = {index: block for index, block in available.items() if index != lost_index}
+        if not survivors:
+            raise RepairError("no surviving replica to copy from")
+        source_index = min(survivors)
+        source = survivors[source_index]
+        new_block = Block(
+            index=lost_index, content=source.content, payload_bytes=source.payload_bytes
+        )
+        return RepairOutcome(
+            block=new_block,
+            participants=(source_index,),
+            uploaded_per_participant={source_index: source.payload_bytes},
+        )

@@ -1,0 +1,137 @@
+"""Bottleneck network bandwidth (section 5.2).
+
+The paper asks: at what peer bandwidth does *computation* stop being
+hidden behind the network transfer?  Assuming the transfer is pipelined
+with the coding, the bottleneck network bandwidth of an operation is
+
+    bnb = |data| / t
+
+where t is the operation's computation time and |data| the amount of
+data that operation pushes to / pulls from the network.  A peer with
+less bandwidth than bnb is network-bound (the code is "free"); a peer
+with more is CPU-bound.
+
+The per-operation |data| values (section 5.2):
+
+- encoding produces the (k + h) initial pieces:      (k+h) * |piece|
+- a repair participant uploads one fragment:          (1 + r_coeff) * |fragment|
+- the newcomer downloads d fragments:                 (1 + r_coeff) * d * |fragment|
+- inversion consumes the coefficients of k pieces:    k * r_coeff * |piece|
+- decoding consumes n_file fragments, i.e. the file:  |file|
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from fractions import Fraction
+
+from repro.core.costs import CostModel, coefficient_overhead
+from repro.core.params import RCParams
+
+__all__ = [
+    "Operation",
+    "operation_data_sizes",
+    "bottleneck_bandwidth",
+    "BandwidthReport",
+]
+
+
+class Operation(str, enum.Enum):
+    """The five measured life-cycle operations of section 5."""
+
+    ENCODING = "encoding"
+    PARTICIPANT_REPAIR = "participant_repair"
+    NEWCOMER_REPAIR = "newcomer_repair"
+    INVERSION = "inversion"
+    DECODING = "decoding"
+
+
+def operation_data_sizes(
+    params: RCParams, file_size: int, q: int = 16
+) -> dict[Operation, Fraction]:
+    """|data| in bytes for each operation (section 5.2 definitions)."""
+    r_coeff = coefficient_overhead(params, file_size, q)
+    fragment = params.fragment_size(file_size)
+    piece = params.piece_size(file_size)
+    return {
+        Operation.ENCODING: params.total_pieces * piece,
+        Operation.PARTICIPANT_REPAIR: (1 + r_coeff) * fragment,
+        Operation.NEWCOMER_REPAIR: (1 + r_coeff) * params.d * fragment,
+        Operation.INVERSION: params.k * r_coeff * piece,
+        Operation.DECODING: Fraction(file_size),
+    }
+
+
+def bottleneck_bandwidth(
+    params: RCParams,
+    file_size: int,
+    times: dict[Operation, float],
+    q: int = 16,
+) -> dict[Operation, float]:
+    """bnb = |data| / t in bits per second, per operation.
+
+    ``times`` holds measured (or modeled) computation times in seconds.
+    Operations with zero computation time (e.g. the participant side of a
+    traditional erasure code) have no bottleneck -- they are reported as
+    ``float('inf')``.
+    """
+    sizes = operation_data_sizes(params, file_size, q)
+    result = {}
+    for operation, size in sizes.items():
+        if operation not in times:
+            continue
+        seconds = times[operation]
+        if seconds < 0:
+            raise ValueError(f"negative time for {operation}: {seconds}")
+        bits = float(size) * 8
+        result[operation] = float("inf") if seconds == 0 else bits / seconds
+    return result
+
+
+@dataclasses.dataclass(frozen=True)
+class BandwidthReport:
+    """One row of the paper's Table 1 for a given (d, i)."""
+
+    params: RCParams
+    file_size: int
+    bandwidth_bps: dict[Operation, float]
+    repair_download_bytes: Fraction
+    storage_bytes: Fraction
+
+    @classmethod
+    def from_times(
+        cls,
+        params: RCParams,
+        file_size: int,
+        times: dict[Operation, float],
+        q: int = 16,
+    ) -> "BandwidthReport":
+        return cls(
+            params=params,
+            file_size=file_size,
+            bandwidth_bps=bottleneck_bandwidth(params, file_size, times, q),
+            repair_download_bytes=params.repair_download_size(file_size),
+            storage_bytes=params.storage_size(file_size),
+        )
+
+    @classmethod
+    def from_model(
+        cls, params: RCParams, file_size: int, ops_per_second: float, q: int = 16
+    ) -> "BandwidthReport":
+        """Table-1 row predicted from the analytic cost model (eqs. E5-E8)."""
+        model = CostModel(params, file_size, q)
+        times = model.predicted_times(ops_per_second)
+        typed_times = {Operation(name): value for name, value in times.items()}
+        return cls.from_times(params, file_size, typed_times, q)
+
+    def throughput_bytes_per_second(self, times: dict[Operation, float]) -> dict[Operation, float]:
+        """File bytes processed per second of computation, per operation.
+
+        Supports the paper's closing claim ("encode/decode on the order
+        of 1 GByte of data per hour" for the heaviest configurations).
+        """
+        return {
+            operation: float("inf") if seconds == 0 else self.file_size / seconds
+            for operation, seconds in times.items()
+        }

@@ -1,0 +1,183 @@
+"""Data model for random-linear coded data.
+
+Everything stored or transmitted by the code is a set of *coded
+fragments*: vectors of field elements, each carrying the coefficient
+vector that expresses it as a linear combination of the n_file original
+fragments (section 3.1: "the random coefficients used for such
+combinations are stored along with the pieces").
+
+- :class:`Fragment` -- one coded fragment + its coefficient row.  This is
+  the unit a repair participant uploads (n_repair = 1).
+- :class:`Piece` -- the n_piece fragments a peer stores for one file.
+- :class:`EncodedFile` -- the k + h pieces produced by insertion plus the
+  metadata (original length, element layout) needed to undo padding.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.gf.field import GaloisField
+
+__all__ = ["Fragment", "Piece", "EncodedFile"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Fragment:
+    """One coded fragment: element data plus its coefficient row.
+
+    ``data`` has shape ``(l_frag,)`` and ``coefficients`` shape
+    ``(n_file,)``; both are field-element arrays.  The fragment equals
+    ``coefficients @ F`` where F is the ``(n_file, l_frag)`` matrix of
+    original fragments (section 4, E_{n, l_frag} = C_{n, n_file} F).
+    """
+
+    data: np.ndarray
+    coefficients: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.data.ndim != 1:
+            raise ValueError(f"fragment data must be 1-D, got shape {self.data.shape}")
+        if self.coefficients.ndim != 1:
+            raise ValueError(
+                f"fragment coefficients must be 1-D, got shape {self.coefficients.shape}"
+            )
+
+    @property
+    def length(self) -> int:
+        """l_frag: elements of data (excludes coefficients)."""
+        return int(self.data.shape[0])
+
+    @property
+    def n_file(self) -> int:
+        return int(self.coefficients.shape[0])
+
+    def data_bytes(self, field: GaloisField) -> int:
+        """Payload size on the wire, excluding coefficients."""
+        return self.length * field.element_size
+
+    def coefficient_bytes(self, field: GaloisField) -> int:
+        """Coefficient size on the wire (the overhead of section 4.1)."""
+        return self.n_file * field.element_size
+
+    def wire_bytes(self, field: GaloisField) -> int:
+        """Total transfer size: data plus coefficients."""
+        return self.data_bytes(field) + self.coefficient_bytes(field)
+
+
+@dataclasses.dataclass(frozen=True)
+class Piece:
+    """The n_piece coded fragments a single peer stores for one file.
+
+    ``data`` has shape ``(n_piece, l_frag)`` and ``coefficients`` shape
+    ``(n_piece, n_file)``.  ``index`` identifies the storing peer slot and
+    is purely bookkeeping -- unlike systematic erasure codes, random
+    linear pieces are exchangeable.
+    """
+
+    index: int
+    data: np.ndarray
+    coefficients: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.data.ndim != 2 or self.coefficients.ndim != 2:
+            raise ValueError("piece data and coefficients must be 2-D")
+        if self.data.shape[0] != self.coefficients.shape[0]:
+            raise ValueError(
+                f"piece has {self.data.shape[0]} data rows but "
+                f"{self.coefficients.shape[0]} coefficient rows"
+            )
+
+    @property
+    def n_piece(self) -> int:
+        return int(self.data.shape[0])
+
+    @property
+    def n_file(self) -> int:
+        return int(self.coefficients.shape[1])
+
+    @property
+    def fragment_length(self) -> int:
+        return int(self.data.shape[1])
+
+    def fragments(self) -> list[Fragment]:
+        """View the piece as its individual fragments."""
+        return [
+            Fragment(data=self.data[row], coefficients=self.coefficients[row])
+            for row in range(self.n_piece)
+        ]
+
+    def data_bytes(self, field: GaloisField) -> int:
+        """Stored payload size, excluding coefficients (the paper's |piece|)."""
+        return self.data.size * field.element_size
+
+    def coefficient_bytes(self, field: GaloisField) -> int:
+        return self.coefficients.size * field.element_size
+
+    def storage_bytes(self, field: GaloisField) -> int:
+        """Actual bytes on disk: payload plus coefficient matrix."""
+        return self.data_bytes(field) + self.coefficient_bytes(field)
+
+    @classmethod
+    def from_fragments(cls, index: int, fragments: list[Fragment]) -> "Piece":
+        """Assemble a piece from fragments (the i = k - 1 verbatim repair)."""
+        if not fragments:
+            raise ValueError("a piece needs at least one fragment")
+        return cls(
+            index=index,
+            data=np.stack([fragment.data for fragment in fragments]),
+            coefficients=np.stack([fragment.coefficients for fragment in fragments]),
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class EncodedFile:
+    """Insertion output: k + h pieces plus the metadata needed to decode.
+
+    ``file_size`` is the original (pre-padding) length in bytes;
+    ``padded_size`` = n_file * l_frag * element_size is what the pieces
+    actually encode.
+    """
+
+    pieces: tuple[Piece, ...]
+    file_size: int
+    padded_size: int
+    n_file: int
+    fragment_length: int
+
+    def __post_init__(self) -> None:
+        if self.file_size > self.padded_size:
+            raise ValueError("file_size cannot exceed padded_size")
+        for piece in self.pieces:
+            if piece.n_file != self.n_file:
+                raise ValueError(
+                    f"piece {piece.index} has n_file={piece.n_file}, expected {self.n_file}"
+                )
+            if piece.fragment_length != self.fragment_length:
+                raise ValueError(
+                    f"piece {piece.index} has fragment length "
+                    f"{piece.fragment_length}, expected {self.fragment_length}"
+                )
+
+    def __len__(self) -> int:
+        return len(self.pieces)
+
+    def subset(self, indices) -> list[Piece]:
+        """Select pieces by position (e.g. the k survivors used to decode)."""
+        return [self.pieces[index] for index in indices]
+
+    def replace_piece(self, slot: int, piece: Piece) -> "EncodedFile":
+        """Functional update after a repair regenerated the piece in ``slot``."""
+        pieces = list(self.pieces)
+        pieces[slot] = piece
+        return dataclasses.replace(self, pieces=tuple(pieces))
+
+    def storage_bytes(self, field: GaloisField) -> int:
+        """Total bytes held across all peers, coefficients included."""
+        return sum(piece.storage_bytes(field) for piece in self.pieces)
+
+    def payload_bytes(self, field: GaloisField) -> int:
+        """Total stored payload, excluding coefficients: (k+h) * |piece|."""
+        return sum(piece.data_bytes(field) for piece in self.pieces)

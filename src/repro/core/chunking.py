@@ -1,0 +1,130 @@
+"""Chunked encoding: keeping the coefficient overhead bounded.
+
+Section 4.1's conclusion: "system designers need to choose a minimum
+size for storage objects that is significantly bigger than for
+traditional erasure codes" -- and, symmetrically, very large objects
+should be *split*, because n_file fragments of a multi-gigabyte file
+make every matrix operation huge while the coefficient overhead is
+already negligible.
+
+This module provides both directions:
+
+- :func:`minimum_object_size` -- the smallest file for which r_coeff
+  stays under a target (the paper's figure-3 guidance as a function);
+- :class:`ChunkedCodec` -- split a large file into independently coded
+  chunks of a chosen size, each a complete RC(k, h, d, i) object with
+  its own pieces, repairs, and reconstruction.  Chunk c's piece j is
+  stored with the same peer as every other chunk's piece j, so peer
+  loss semantics match the unchunked code.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from fractions import Fraction
+
+from repro.core.blocks import EncodedFile, Piece
+from repro.core.params import RCParams
+from repro.core.regenerating import RandomLinearRegeneratingCode
+
+__all__ = ["minimum_object_size", "ChunkedCodec", "ChunkedFile"]
+
+
+def minimum_object_size(
+    params: RCParams, max_coefficient_overhead: float = 0.01, q: int = 16
+) -> int:
+    """Smallest file size (bytes) with r_coeff <= the target overhead.
+
+    Inverts section 4.1's r_coeff = n_file^2 * q / (8 * |file|): e.g.
+    RC(32,32,63,31) -- 4.4 bits/bit at 1 MB per figure 3 -- needs ~440 MB
+    per object to keep coefficients under 1%, the quantitative form of
+    the paper's figure-3 warning (and why mid-range (d, i) matter).
+    """
+    if not 0 < max_coefficient_overhead:
+        raise ValueError("max_coefficient_overhead must be positive")
+    exact = Fraction(params.n_file**2 * q, 8) / Fraction(
+        max_coefficient_overhead
+    ).limit_denominator(10**9)
+    return math.ceil(exact)
+
+
+@dataclasses.dataclass(frozen=True)
+class ChunkedFile:
+    """A large file as a sequence of independently coded objects."""
+
+    chunks: tuple[EncodedFile, ...]
+    chunk_size: int
+    file_size: int
+
+    @property
+    def chunk_count(self) -> int:
+        return len(self.chunks)
+
+    def pieces_for_peer(self, slot: int) -> list[Piece]:
+        """Everything peer ``slot`` stores: its piece of every chunk."""
+        return [chunk.pieces[slot] for chunk in self.chunks]
+
+    def replace_piece(self, chunk_index: int, slot: int, piece: Piece) -> "ChunkedFile":
+        chunks = list(self.chunks)
+        chunks[chunk_index] = chunks[chunk_index].replace_piece(slot, piece)
+        return dataclasses.replace(self, chunks=tuple(chunks))
+
+
+class ChunkedCodec:
+    """Encode/decode/repair a file as fixed-size coded chunks."""
+
+    def __init__(self, code: RandomLinearRegeneratingCode, chunk_size: int):
+        if chunk_size <= 0:
+            raise ValueError("chunk_size must be positive")
+        self.code = code
+        self.chunk_size = chunk_size
+
+    @property
+    def params(self) -> RCParams:
+        return self.code.params
+
+    def insert(self, data: bytes) -> ChunkedFile:
+        """Encode ``data`` chunk by chunk (the last chunk may be short)."""
+        chunks = []
+        for offset in range(0, max(len(data), 1), self.chunk_size):
+            chunks.append(self.code.insert(data[offset : offset + self.chunk_size]))
+        return ChunkedFile(
+            chunks=tuple(chunks), chunk_size=self.chunk_size, file_size=len(data)
+        )
+
+    def reconstruct(
+        self, chunked: ChunkedFile, slots: list[int]
+    ) -> bytes:
+        """Rebuild the file from the pieces held by the peers in ``slots``."""
+        parts = []
+        for chunk in chunked.chunks:
+            pieces = [chunk.pieces[slot] for slot in slots]
+            parts.append(self.code.reconstruct(pieces, chunk.file_size))
+        return b"".join(parts)
+
+    def repair_slot(
+        self, chunked: ChunkedFile, participant_slots: list[int], lost_slot: int
+    ) -> tuple[ChunkedFile, int]:
+        """Regenerate peer ``lost_slot``'s piece of *every* chunk.
+
+        Returns the updated file and the total bytes moved; per chunk
+        the traffic is the usual d fragments + coefficients, so the
+        whole-file repair cost is chunk_count times the per-object one.
+        """
+        total_bytes = 0
+        current = chunked
+        for chunk_index, chunk in enumerate(chunked.chunks):
+            participants = [chunk.pieces[slot] for slot in participant_slots]
+            result = self.code.repair(participants, index=lost_slot)
+            total_bytes += result.total_bytes
+            current = current.replace_piece(chunk_index, lost_slot, result.piece)
+        return current, total_bytes
+
+    def coefficient_overhead_per_chunk(self) -> float:
+        """r_coeff at the configured chunk size (section 4.1)."""
+        from repro.core.costs import coefficient_overhead
+
+        return float(
+            coefficient_overhead(self.params, self.chunk_size, self.code.field.q)
+        )

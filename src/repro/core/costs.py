@@ -1,0 +1,231 @@
+"""Analytic cost model of Random Linear Regenerating Codes (section 4).
+
+The paper reduces every coding operation to two primitives and counts
+Galois-field operations (section 4.2):
+
+1. a linear combination of n vectors of length l costs ``5 n l``
+   operations (n*l additions + n*l multiplications, a multiplication
+   being 3 lookups + 1 addition);
+2. inverting an (n, n) matrix costs ``5 n^3``; when n independent rows
+   must first be extracted from an (m, n) matrix, the combined cost lies
+   between ``5 n^3`` and ``5 m n^2`` (eq. E8).
+
+From these, the per-operation totals E5-E7 follow.  The *coefficient
+overhead* of section 4.1 -- r_coeff bits of coefficients per bit of
+data -- enters both storage/transfer sizes and, per the paper's remark,
+computation ("assuming that the fragment size is virtually increased by
+the size of coefficients").
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from fractions import Fraction
+
+from repro.core.params import RCParams
+
+__all__ = [
+    "coefficient_overhead",
+    "CostModel",
+    "OperationCosts",
+    "LINEAR_COMBINATION_OPS_PER_ELEMENT",
+]
+
+#: The paper's constant: combining n vectors of l elements costs 5 n l ops.
+LINEAR_COMBINATION_OPS_PER_ELEMENT = 5
+
+
+def coefficient_overhead(params: RCParams, file_size: int, q: int = 16) -> Fraction:
+    """r_coeff = n_file * q / |fragment| = n_file^2 * q / |file| (section 4.1).
+
+    Expressed as a pure ratio (bits of coefficients per bit of data),
+    with ``file_size`` in bytes and ``q`` the field exponent.  The ratio
+    grows with the *square* of n_file, which is why Regenerating Codes
+    need larger minimum object sizes than traditional erasure codes.
+    """
+    if file_size <= 0:
+        raise ValueError("file_size must be positive")
+    return Fraction(params.n_file**2 * q, file_size * 8)
+
+
+@dataclasses.dataclass(frozen=True)
+class OperationCosts:
+    """Field-operation counts for one life-cycle pass of a file.
+
+    ``inversion_ops`` is reported as the (lower, upper) pair of eq. E8
+    since the true count depends on which rows turn out independent.
+    """
+
+    encoding_ops: int
+    participant_repair_ops: int
+    newcomer_repair_ops: int
+    inversion_ops_lower: int
+    inversion_ops_upper: int
+    decoding_ops: int
+
+    @property
+    def reconstruction_ops_lower(self) -> int:
+        return self.inversion_ops_lower + self.decoding_ops
+
+    @property
+    def reconstruction_ops_upper(self) -> int:
+        return self.inversion_ops_upper + self.decoding_ops
+
+
+class CostModel:
+    """Evaluates eqs. E5-E8 for a concrete code, field, and file size.
+
+    Parameters
+    ----------
+    params:
+        The RC(k, h, d, i) configuration.
+    file_size:
+        Original file size in bytes (the paper uses 1 MByte).
+    q:
+        Field exponent; q = 16 gives the paper's 2-byte elements.
+    include_coefficients:
+        When True (paper section 4.2, maintenance note), fragment lengths
+        are virtually increased by the coefficient vector length so that
+        coefficient updates are charged too.
+    """
+
+    def __init__(
+        self,
+        params: RCParams,
+        file_size: int,
+        q: int = 16,
+        include_coefficients: bool = False,
+    ):
+        if file_size <= 0:
+            raise ValueError("file_size must be positive")
+        if q % 8:
+            raise ValueError("q must be byte aligned (8 or 16) for byte sizing")
+        self.params = params
+        self.file_size = file_size
+        self.q = q
+        self.element_size = q // 8
+        self.include_coefficients = include_coefficients
+
+    # ------------------------------------------------------------------
+    # element geometry
+    # ------------------------------------------------------------------
+
+    @property
+    def file_elements(self) -> Fraction:
+        """|file| in field elements: n_file * l_frag."""
+        return Fraction(self.file_size, self.element_size)
+
+    @property
+    def fragment_elements(self) -> Fraction:
+        """l_frag = |fragment| / element size (may be fractional for
+        unaligned file sizes; callers wanting integers should align)."""
+        return self.file_elements / self.params.n_file
+
+    @property
+    def effective_fragment_elements(self) -> Fraction:
+        """l_frag plus, optionally, the n_file coefficient elements."""
+        extra = self.params.n_file if self.include_coefficients else 0
+        return self.fragment_elements + extra
+
+    # ------------------------------------------------------------------
+    # eqs. E5-E8
+    # ------------------------------------------------------------------
+
+    def encoding_ops(self) -> Fraction:
+        """E5: 5 (k+h) n_file n_piece l_frag = (5/2)(k+h) n_piece |file| ops."""
+        params = self.params
+        return (
+            LINEAR_COMBINATION_OPS_PER_ELEMENT
+            * params.total_pieces
+            * params.n_file
+            * params.n_piece
+            * self.effective_fragment_elements
+        )
+
+    def participant_repair_ops(self) -> Fraction:
+        """E6: 5 n_piece l_frag ops = (5/2) |piece| (bytes) for q = 16.
+
+        Zero for the traditional erasure code, whose participants send the
+        whole stored piece without computing anything.
+        """
+        if self.params.is_erasure:
+            return Fraction(0)
+        return (
+            LINEAR_COMBINATION_OPS_PER_ELEMENT
+            * self.params.n_piece
+            * self.effective_fragment_elements
+        )
+
+    def newcomer_repair_ops(self) -> Fraction:
+        """E7: d times the participant cost -- except the verbatim case.
+
+        For the traditional erasure code the newcomer still combines the d
+        received pieces (section 3.1), so the erasure shortcut above does
+        not apply here; for i = k - 1 the newcomer stores fragments as-is
+        and the cost is zero (fig. 4c).
+        """
+        if self.params.newcomer_stores_verbatim:
+            return Fraction(0)
+        return (
+            LINEAR_COMBINATION_OPS_PER_ELEMENT
+            * self.params.d
+            * self.params.n_piece
+            * self.effective_fragment_elements
+        )
+
+    def inversion_ops_bounds(self) -> tuple[Fraction, Fraction]:
+        """E8: 5 n_file^3 < CPU(inversion) < 5 k n_piece n_file^2."""
+        params = self.params
+        lower = Fraction(LINEAR_COMBINATION_OPS_PER_ELEMENT * params.n_file**3)
+        upper = Fraction(
+            LINEAR_COMBINATION_OPS_PER_ELEMENT * params.k * params.n_piece * params.n_file**2
+        )
+        return lower, upper
+
+    def decoding_ops(self) -> Fraction:
+        """5 n_file^2 l_frag = (5/2) n_file |file| ops."""
+        return (
+            LINEAR_COMBINATION_OPS_PER_ELEMENT
+            * self.params.n_file**2
+            * self.effective_fragment_elements
+        )
+
+    def operation_costs(self) -> OperationCosts:
+        """All counts bundled, rounded to integers."""
+        lower, upper = self.inversion_ops_bounds()
+        return OperationCosts(
+            encoding_ops=int(self.encoding_ops()),
+            participant_repair_ops=int(self.participant_repair_ops()),
+            newcomer_repair_ops=int(self.newcomer_repair_ops()),
+            inversion_ops_lower=int(lower),
+            inversion_ops_upper=int(upper),
+            decoding_ops=int(self.decoding_ops()),
+        )
+
+    # ------------------------------------------------------------------
+    # section 4.1
+    # ------------------------------------------------------------------
+
+    def coefficient_overhead(self) -> Fraction:
+        """r_coeff for this file size and field (section 4.1)."""
+        return coefficient_overhead(self.params, self.file_size, self.q)
+
+    # ------------------------------------------------------------------
+    # modeled times
+    # ------------------------------------------------------------------
+
+    def predicted_times(self, ops_per_second: float) -> dict[str, float]:
+        """Convert op counts into seconds given a measured field-op rate.
+
+        Used to extrapolate full (d, i) grids from a few calibration
+        measurements; the inversion estimate uses the E8 lower bound
+        (the incremental extraction usually terminates near it).
+        """
+        lower, _ = self.inversion_ops_bounds()
+        return {
+            "encoding": float(self.encoding_ops()) / ops_per_second,
+            "participant_repair": float(self.participant_repair_ops()) / ops_per_second,
+            "newcomer_repair": float(self.newcomer_repair_ops()) / ops_per_second,
+            "inversion": float(lower) / ops_per_second,
+            "decoding": float(self.decoding_ops()) / ops_per_second,
+        }

@@ -1,0 +1,231 @@
+"""The RC(k, h, d, i) parameter space of Regenerating Codes.
+
+A Regenerating Code is described in the paper by four parameters
+(section 2.2, eqs. E2-E4):
+
+- ``k``: pieces sufficient to reconstruct the file;
+- ``h``: extra redundant pieces (the system stores k + h pieces and can
+  sustain h losses);
+- ``d``: the repair degree, the number of peers contacted per repair,
+  with k <= d <= k + h - 1;
+- ``i``: the *piece expansion index*, 0 <= i <= k - 1, trading storage
+  for repair traffic.
+
+From these the paper derives (all ratios relative to the file size):
+
+    p(d, i) = 2 (d - k + i + 1) / D       (piece size, eq. E2)
+    r(d, i) = 2 / D                        (per-participant repair upload)
+    D       = 2 k (d - k + 1) + i (2k - i - 1)
+
+and the fragment counts for the random-linear implementation (eq. E4),
+obtained by fixing the fragment size to |repair_up| (n_repair = 1):
+
+    n_file  = D / 2                        (fragments in the file)
+    n_piece = d - k + i + 1                (fragments stored per piece)
+
+Two named extremes (section 2.2): i = 0 gives Minimum Storage
+Regenerating codes (MSR), i = k - 1 gives Minimum Bandwidth Regenerating
+codes (MBR).  The traditional erasure code is the degenerate
+RC(k, h, k, 0).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from fractions import Fraction
+
+__all__ = ["RCParams"]
+
+
+@dataclasses.dataclass(frozen=True)
+class RCParams:
+    """Validated parameters of a Regenerating Code RC(k, h, d, i)."""
+
+    k: int
+    h: int
+    d: int
+    i: int
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError(f"k must be >= 1, got {self.k}")
+        if self.h < 1:
+            raise ValueError(f"h must be >= 1, got {self.h}")
+        if not self.k <= self.d <= self.k + self.h - 1:
+            raise ValueError(
+                f"repair degree d={self.d} outside [k, k+h-1] = "
+                f"[{self.k}, {self.k + self.h - 1}] (eq. E2)"
+            )
+        if not 0 <= self.i <= self.k - 1:
+            raise ValueError(
+                f"piece expansion index i={self.i} outside [0, k-1] = [0, {self.k - 1}]"
+            )
+
+    # ------------------------------------------------------------------
+    # constructors for the named configurations
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def erasure(cls, k: int, h: int) -> "RCParams":
+        """The traditional erasure code: RC(k, h, k, 0) (eq. E1)."""
+        return cls(k=k, h=h, d=k, i=0)
+
+    @classmethod
+    def msr(cls, k: int, h: int, d: int | None = None) -> "RCParams":
+        """Minimum Storage Regenerating code: i = 0, default maximal d."""
+        return cls(k=k, h=h, d=d if d is not None else k + h - 1, i=0)
+
+    @classmethod
+    def mbr(cls, k: int, h: int, d: int | None = None) -> "RCParams":
+        """Minimum Bandwidth Regenerating code: i = k - 1, default maximal d."""
+        return cls(k=k, h=h, d=d if d is not None else k + h - 1, i=k - 1)
+
+    @classmethod
+    def paper_default(cls, d: int, i: int) -> "RCParams":
+        """The paper's evaluation setting k = 32, h = 32 (section 2.2)."""
+        return cls(k=32, h=32, d=d, i=i)
+
+    # ------------------------------------------------------------------
+    # the paper's sizing functions (exact rational arithmetic)
+    # ------------------------------------------------------------------
+
+    @property
+    def total_pieces(self) -> int:
+        """Pieces stored in the system: k + h."""
+        return self.k + self.h
+
+    @property
+    def _denominator(self) -> int:
+        """D = 2 k (d - k + 1) + i (2k - i - 1); common denominator of p and r."""
+        return 2 * self.k * (self.d - self.k + 1) + self.i * (2 * self.k - self.i - 1)
+
+    @property
+    def piece_fraction(self) -> Fraction:
+        """p(d, i): piece size as a fraction of the file size (eq. E2)."""
+        return Fraction(2 * (self.d - self.k + self.i + 1), self._denominator)
+
+    @property
+    def repair_fraction(self) -> Fraction:
+        """r(d, i): per-participant repair upload as a fraction of file size."""
+        return Fraction(2, self._denominator)
+
+    @property
+    def n_file(self) -> int:
+        """Fragments the file is broken into: 1 / r(d, i) = D / 2 (eq. E4).
+
+        Always an integer: i (2k - i - 1) is even for every i (one of the
+        two factors is even), so D is even.
+        """
+        denominator = self._denominator
+        assert denominator % 2 == 0, "D is even for all valid (k, d, i)"
+        return denominator // 2
+
+    @property
+    def n_piece(self) -> int:
+        """Fragments per stored piece: d - k + i + 1 (eq. E4)."""
+        return self.d - self.k + self.i + 1
+
+    @property
+    def n_repair(self) -> int:
+        """Fragments uploaded per repair participant (fixed to 1, section 3.2)."""
+        return 1
+
+    # ------------------------------------------------------------------
+    # derived classification
+    # ------------------------------------------------------------------
+
+    @property
+    def is_erasure(self) -> bool:
+        """True for the degenerate traditional erasure code RC(k, h, k, 0)."""
+        return self.d == self.k and self.i == 0
+
+    @property
+    def is_msr(self) -> bool:
+        """Minimum Storage Regenerating: piece size stays |file| / k."""
+        return self.i == 0
+
+    @property
+    def is_mbr(self) -> bool:
+        """Minimum Bandwidth Regenerating: repair traffic is minimized."""
+        return self.i == self.k - 1
+
+    @property
+    def newcomer_stores_verbatim(self) -> bool:
+        """True when d == n_piece: the newcomer keeps received fragments as-is.
+
+        Section 3.2 notes this special case; it holds exactly when
+        i = k - 1 (MBR), which is why figure 4(c) falls to zero there.
+        """
+        return self.d == self.n_piece
+
+    # ------------------------------------------------------------------
+    # byte sizing for a concrete file
+    # ------------------------------------------------------------------
+
+    def fragment_size(self, file_size: int) -> Fraction:
+        """|fragment| = |file| / n_file (bytes, exact rational)."""
+        return Fraction(file_size, self.n_file)
+
+    def piece_size(self, file_size: int) -> Fraction:
+        """|piece| = p(d, i) * |file| = n_piece * |fragment| (bytes)."""
+        return self.piece_fraction * file_size
+
+    def storage_size(self, file_size: int) -> Fraction:
+        """Total stored bytes: (k + h) * |piece| (section 2.1)."""
+        return self.total_pieces * self.piece_size(file_size)
+
+    def repair_upload_size(self, file_size: int) -> Fraction:
+        """|repair_up| = r(d, i) * |file| = |fragment| (bytes)."""
+        return self.repair_fraction * file_size
+
+    def repair_download_size(self, file_size: int) -> Fraction:
+        """|repair_down| = d * |repair_up| (bytes)."""
+        return self.d * self.repair_upload_size(file_size)
+
+    def aligned_file_size(self, file_size: int, element_size: int = 2) -> int:
+        """Smallest size >= ``file_size`` splittable into n_file element rows.
+
+        The random-linear implementation needs |file| = n_file * |fragment|
+        with |fragment| a whole number of field elements (eq. E3); files
+        are zero-padded up to this size before encoding.
+        """
+        if file_size < 0:
+            raise ValueError("file_size must be non-negative")
+        row = self.n_file * element_size
+        remainder = file_size % row
+        padded = file_size if remainder == 0 else file_size + row - remainder
+        return max(padded, row)
+
+    # ------------------------------------------------------------------
+    # normalized metrics for figures 1(a) and 1(b)
+    # ------------------------------------------------------------------
+
+    @property
+    def piece_stretch(self) -> Fraction:
+        """Piece size relative to a traditional erasure code (fig. 1a).
+
+        The reference is |piece| = |file| / k, i.e. RC(k, h, k, 0).
+        """
+        return self.piece_fraction * self.k
+
+    @property
+    def repair_reduction(self) -> Fraction:
+        """Repair traffic relative to a traditional erasure code (fig. 1b).
+
+        The reference is |repair_down| = |file|.
+        """
+        return self.d * self.repair_fraction
+
+    # ------------------------------------------------------------------
+    # iteration helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def grid(cls, k: int, h: int):
+        """Yield every valid RC(k, h, d, i) (the k*h configurations of §2.2)."""
+        for d in range(k, k + h):
+            for i in range(k):
+                yield cls(k=k, h=h, d=d, i=i)
+
+    def __str__(self) -> str:
+        return f"RC({self.k},{self.h},{self.d},{self.i})"

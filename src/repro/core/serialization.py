@@ -1,0 +1,114 @@
+"""Wire/storage format for coded pieces and fragments.
+
+A real backup system has to put pieces on disks and fragments on the
+wire.  This module defines a compact, versioned, self-describing binary
+format for both, so that peers running this library interoperate:
+
+    [magic 4B] [version u8] [kind u8] [q u8] [reserved u8]
+    [index u32] [n_rows u32] [n_file u32] [l_frag u32]
+    [coefficients: n_rows * n_file elements, little-endian]
+    [data:         n_rows * l_frag elements, little-endian]
+
+``kind`` distinguishes a stored piece (n_rows = n_piece) from a repair
+upload (n_rows = 1, the paper's n_repair = 1).  Sizes on the wire match
+the paper's accounting exactly: payload plus coefficient rows.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.core.blocks import Fragment, Piece
+from repro.gf.field import GF, GaloisField
+
+__all__ = [
+    "MAGIC",
+    "FORMAT_VERSION",
+    "SerializationError",
+    "piece_to_bytes",
+    "piece_from_bytes",
+    "fragment_to_bytes",
+    "fragment_from_bytes",
+]
+
+MAGIC = b"RGC1"
+FORMAT_VERSION = 1
+_KIND_PIECE = 1
+_KIND_FRAGMENT = 2
+_HEADER = struct.Struct("<4sBBBBIIII")
+
+
+class SerializationError(ValueError):
+    """Raised on malformed, truncated, or incompatible serialized data."""
+
+
+def _pack(kind: int, field: GaloisField, index: int, coefficients, data) -> bytes:
+    n_rows, n_file = coefficients.shape
+    l_frag = data.shape[1]
+    header = _HEADER.pack(
+        MAGIC, FORMAT_VERSION, kind, field.q, 0, index, n_rows, n_file, l_frag
+    )
+    return (
+        header
+        + field.elements_to_bytes(coefficients.reshape(-1))
+        + field.elements_to_bytes(data.reshape(-1))
+    )
+
+
+def _unpack(blob: bytes, expected_kind: int):
+    if len(blob) < _HEADER.size:
+        raise SerializationError(f"blob too short for header: {len(blob)} bytes")
+    magic, version, kind, q, _, index, n_rows, n_file, l_frag = _HEADER.unpack_from(blob)
+    if magic != MAGIC:
+        raise SerializationError(f"bad magic {magic!r}, expected {MAGIC!r}")
+    if version != FORMAT_VERSION:
+        raise SerializationError(f"unsupported format version {version}")
+    if kind != expected_kind:
+        raise SerializationError(f"wrong kind {kind}, expected {expected_kind}")
+    if q not in (8, 16):
+        raise SerializationError(f"unsupported field exponent q={q}")
+    field = GF(q)
+    coefficient_bytes = n_rows * n_file * field.element_size
+    data_bytes = n_rows * l_frag * field.element_size
+    expected = _HEADER.size + coefficient_bytes + data_bytes
+    if len(blob) != expected:
+        raise SerializationError(
+            f"blob size {len(blob)} does not match header ({expected} expected)"
+        )
+    offset = _HEADER.size
+    coefficients = field.bytes_to_elements(
+        blob[offset : offset + coefficient_bytes]
+    ).reshape(n_rows, n_file)
+    offset += coefficient_bytes
+    data = field.bytes_to_elements(blob[offset:]).reshape(n_rows, l_frag)
+    return field, index, coefficients, data
+
+
+def piece_to_bytes(piece: Piece, field: GaloisField) -> bytes:
+    """Serialize a stored piece (coefficients + payload)."""
+    return _pack(_KIND_PIECE, field, piece.index, piece.coefficients, piece.data)
+
+
+def piece_from_bytes(blob: bytes) -> tuple[Piece, GaloisField]:
+    """Parse a piece; returns it with the field it was encoded over."""
+    field, index, coefficients, data = _unpack(blob, _KIND_PIECE)
+    return Piece(index=index, data=data, coefficients=coefficients), field
+
+
+def fragment_to_bytes(fragment: Fragment, field: GaloisField) -> bytes:
+    """Serialize a repair upload (one coded fragment, n_repair = 1)."""
+    return _pack(
+        _KIND_FRAGMENT,
+        field,
+        0,
+        fragment.coefficients[None, :],
+        fragment.data[None, :],
+    )
+
+
+def fragment_from_bytes(blob: bytes) -> tuple[Fragment, GaloisField]:
+    """Parse a repair upload."""
+    field, _, coefficients, data = _unpack(blob, _KIND_FRAGMENT)
+    return Fragment(data=data[0], coefficients=coefficients[0]), field

@@ -1,0 +1,50 @@
+"""Galois-field substrate for random linear coding.
+
+The paper (section 4.2) performs every coding operation in GF(2^q) with
+q = 16, implementing multiplication and division through precomputed
+log/exp tables ("3 lookups and 1 addition").  This package provides that
+substrate:
+
+- :mod:`repro.gf.field` -- the field itself, with vectorized numpy kernels.
+- :mod:`repro.gf.linalg` -- linear algebra over the field (matrix product,
+  inversion, rank, and the independent-row extraction used during
+  reconstruction).
+- :mod:`repro.gf.polynomial` -- polynomials over the field, used by the
+  Reed-Solomon baseline.
+"""
+
+from repro.gf.field import GF, GF16, GF256, GF65536, GaloisField
+from repro.gf.linalg import (
+    LinAlgError,
+    extract_independent_rows,
+    gf_matmul,
+    gf_matvec,
+    inverse,
+    is_invertible,
+    nullspace_vector,
+    random_matrix,
+    rank,
+    rref,
+    solve,
+)
+from repro.gf.polynomial import Polynomial
+
+__all__ = [
+    "GF",
+    "GF16",
+    "GF256",
+    "GF65536",
+    "GaloisField",
+    "LinAlgError",
+    "Polynomial",
+    "extract_independent_rows",
+    "gf_matmul",
+    "gf_matvec",
+    "inverse",
+    "is_invertible",
+    "nullspace_vector",
+    "random_matrix",
+    "rank",
+    "rref",
+    "solve",
+]

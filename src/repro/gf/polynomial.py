@@ -1,0 +1,188 @@
+"""Polynomials over GF(2^q), supporting the Reed-Solomon baseline.
+
+The paper compares Regenerating Codes against "traditional erasure codes
+(like Reed-Solomon codes [10])".  The RS baseline in :mod:`repro.codes`
+encodes by polynomial evaluation and decodes by interpolation; this module
+provides the polynomial arithmetic it needs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gf.field import GaloisField
+
+__all__ = ["Polynomial"]
+
+
+class Polynomial:
+    """An immutable polynomial with coefficients in a Galois field.
+
+    Coefficients are stored lowest-degree first; the zero polynomial has
+    an empty coefficient vector and degree -1.
+    """
+
+    def __init__(self, field: GaloisField, coefficients):
+        self.field = field
+        coeffs = field.asarray(np.atleast_1d(coefficients))
+        nonzero = np.nonzero(coeffs)[0]
+        self.coefficients = (
+            coeffs[: int(nonzero[-1]) + 1].copy() if nonzero.size else field.zeros(0)
+        )
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def zero(cls, field: GaloisField) -> "Polynomial":
+        return cls(field, field.zeros(0))
+
+    @classmethod
+    def one(cls, field: GaloisField) -> "Polynomial":
+        return cls(field, [1])
+
+    @classmethod
+    def monomial(cls, field: GaloisField, degree: int, coefficient: int = 1) -> "Polynomial":
+        coeffs = field.zeros(degree + 1)
+        coeffs[degree] = coefficient
+        return cls(field, coeffs)
+
+    @classmethod
+    def from_roots(cls, field: GaloisField, roots) -> "Polynomial":
+        """The monic polynomial prod (x - r) over the field (x + r in char 2)."""
+        result = cls.one(field)
+        for root in np.atleast_1d(field.asarray(roots)):
+            result = result * cls(field, [root, 1])
+        return result
+
+    @classmethod
+    def interpolate(cls, field: GaloisField, xs, ys) -> "Polynomial":
+        """Lagrange interpolation through the given distinct points."""
+        xs = field.asarray(np.atleast_1d(xs))
+        ys = field.asarray(np.atleast_1d(ys))
+        if xs.shape != ys.shape or xs.ndim != 1:
+            raise ValueError("xs and ys must be equal-length vectors")
+        if len(set(int(x) for x in xs)) != xs.shape[0]:
+            raise ValueError("interpolation points must be distinct")
+        result = cls.zero(field)
+        for j in range(xs.shape[0]):
+            others = np.delete(xs, j)
+            numerator = cls.from_roots(field, others)
+            denominator = field.dtype.type(1)
+            for x_m in others:
+                denominator = field.multiply(denominator, field.add(xs[j], x_m))
+            scale = field.divide(ys[j], denominator)
+            result = result + numerator.scale(scale)
+        return result
+
+    # ------------------------------------------------------------------
+    # properties
+    # ------------------------------------------------------------------
+
+    @property
+    def degree(self) -> int:
+        return int(self.coefficients.shape[0]) - 1
+
+    def is_zero(self) -> bool:
+        return self.coefficients.shape[0] == 0
+
+    def __repr__(self) -> str:
+        return f"Polynomial(GF(2^{self.field.q}), {self.coefficients.tolist()})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Polynomial)
+            and self.field == other.field
+            and self.coefficients.shape == other.coefficients.shape
+            and bool(np.all(self.coefficients == other.coefficients))
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.field, self.coefficients.tobytes()))
+
+    # ------------------------------------------------------------------
+    # arithmetic
+    # ------------------------------------------------------------------
+
+    def _check_field(self, other: "Polynomial") -> None:
+        if self.field != other.field:
+            raise ValueError("polynomials belong to different fields")
+
+    def __add__(self, other: "Polynomial") -> "Polynomial":
+        self._check_field(other)
+        size = max(self.coefficients.shape[0], other.coefficients.shape[0])
+        a = np.zeros(size, dtype=self.field.dtype)
+        b = np.zeros(size, dtype=self.field.dtype)
+        a[: self.coefficients.shape[0]] = self.coefficients
+        b[: other.coefficients.shape[0]] = other.coefficients
+        return Polynomial(self.field, self.field.add(a, b))
+
+    # Characteristic 2: subtraction is addition.
+    __sub__ = __add__
+
+    def scale(self, coefficient) -> "Polynomial":
+        return Polynomial(self.field, self.field.multiply(coefficient, self.coefficients))
+
+    def __mul__(self, other: "Polynomial") -> "Polynomial":
+        self._check_field(other)
+        if self.is_zero() or other.is_zero():
+            return Polynomial.zero(self.field)
+        out = self.field.zeros(self.degree + other.degree + 1)
+        for shift, coeff in enumerate(self.coefficients):
+            if coeff:
+                segment = out[shift : shift + other.coefficients.shape[0]]
+                out[shift : shift + other.coefficients.shape[0]] = self.field.add(
+                    segment, self.field.multiply(coeff, other.coefficients)
+                )
+        return Polynomial(self.field, out)
+
+    def __divmod__(self, other: "Polynomial") -> tuple["Polynomial", "Polynomial"]:
+        self._check_field(other)
+        if other.is_zero():
+            raise ZeroDivisionError("polynomial division by zero")
+        remainder = self.coefficients.copy()
+        if self.degree < other.degree:
+            return Polynomial.zero(self.field), Polynomial(self.field, remainder)
+        quotient = self.field.zeros(self.degree - other.degree + 1)
+        lead_inv = self.field.inverse_elements(other.coefficients[-1])
+        for shift in range(self.degree - other.degree, -1, -1):
+            top = remainder[shift + other.degree]
+            if top:
+                factor = self.field.multiply(top, lead_inv)
+                quotient[shift] = factor
+                segment = remainder[shift : shift + other.degree + 1]
+                remainder[shift : shift + other.degree + 1] = self.field.add(
+                    segment, self.field.multiply(factor, other.coefficients)
+                )
+        return Polynomial(self.field, quotient), Polynomial(self.field, remainder)
+
+    def __floordiv__(self, other: "Polynomial") -> "Polynomial":
+        return divmod(self, other)[0]
+
+    def __mod__(self, other: "Polynomial") -> "Polynomial":
+        return divmod(self, other)[1]
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+
+    def __call__(self, points) -> np.ndarray:
+        """Evaluate at one or many points via Horner's rule (vectorized)."""
+        points_arr = self.field.asarray(np.atleast_1d(points))
+        result = self.field.zeros(points_arr.shape)
+        for coeff in self.coefficients[::-1]:
+            result = self.field.add(self.field.multiply(result, points_arr), coeff)
+        if np.isscalar(points) or np.asarray(points).ndim == 0:
+            return result[0]
+        return result
+
+    def derivative(self) -> "Polynomial":
+        """Formal derivative (in characteristic 2 even-degree terms vanish)."""
+        if self.degree < 1:
+            return Polynomial.zero(self.field)
+        coeffs = self.field.zeros(self.degree)
+        for degree in range(1, self.degree + 1):
+            if degree % 2 == 1:  # degree * c reduces to c when degree is odd
+                coeffs[degree - 1] = self.coefficients[degree]
+        return Polynomial(self.field, coeffs)

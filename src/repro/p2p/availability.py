@@ -1,0 +1,111 @@
+"""Transient availability: peers that go offline and come back.
+
+The churn models in :mod:`repro.p2p.churn` treat every departure as
+permanent -- the conservative reading the paper's cited systems use.
+Real peers, though, mostly *disconnect* and return with their disks
+intact.  This module adds the standard alternating-renewal (on/off)
+model, which is what makes the eager-vs-lazy maintenance comparison
+meaningful: an eager policy repairs every disconnection and wastes the
+work when the peer returns; a lazy policy rides out short outages.
+
+An :class:`AvailabilityModel` samples alternating online/offline
+durations; the simulator schedules the transitions and counts repairs
+that turn out to have been unnecessary.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+__all__ = [
+    "AvailabilityModel",
+    "AlwaysOnline",
+    "ExponentialOnOff",
+    "PeriodicOnOff",
+]
+
+
+class AvailabilityModel(abc.ABC):
+    """Alternating online/offline session durations."""
+
+    @abc.abstractmethod
+    def sample_online(self, rng: np.random.Generator) -> float:
+        """Length of the next online session (> 0)."""
+
+    @abc.abstractmethod
+    def sample_offline(self, rng: np.random.Generator) -> float:
+        """Length of the next offline period (> 0)."""
+
+    @property
+    @abc.abstractmethod
+    def availability(self) -> float:
+        """Long-run fraction of time online (E[on] / (E[on] + E[off]))."""
+
+
+class AlwaysOnline(AvailabilityModel):
+    """Degenerate model: the permanent-churn-only behaviour."""
+
+    def sample_online(self, rng: np.random.Generator) -> float:
+        return float("inf")
+
+    def sample_offline(self, rng: np.random.Generator) -> float:
+        raise RuntimeError("an always-online peer never goes offline")
+
+    @property
+    def availability(self) -> float:
+        return 1.0
+
+    def __repr__(self) -> str:
+        return "AlwaysOnline()"
+
+
+class ExponentialOnOff(AvailabilityModel):
+    """Memoryless sessions: the classic two-state Markov availability."""
+
+    def __init__(self, mean_online: float, mean_offline: float):
+        if mean_online <= 0 or mean_offline <= 0:
+            raise ValueError("session means must be positive")
+        self.mean_online = mean_online
+        self.mean_offline = mean_offline
+
+    def sample_online(self, rng: np.random.Generator) -> float:
+        return float(rng.exponential(self.mean_online))
+
+    def sample_offline(self, rng: np.random.Generator) -> float:
+        return float(rng.exponential(self.mean_offline))
+
+    @property
+    def availability(self) -> float:
+        return self.mean_online / (self.mean_online + self.mean_offline)
+
+    def __repr__(self) -> str:
+        return (
+            f"ExponentialOnOff(mean_online={self.mean_online}, "
+            f"mean_offline={self.mean_offline})"
+        )
+
+
+class PeriodicOnOff(AvailabilityModel):
+    """Fixed-length sessions (e.g. nightly disconnections); deterministic,
+    used by tests to script exact scenarios."""
+
+    def __init__(self, online: float, offline: float):
+        if online <= 0 or offline <= 0:
+            raise ValueError("session lengths must be positive")
+        self.online = online
+        self.offline = offline
+
+    def sample_online(self, rng: np.random.Generator) -> float:
+        return self.online
+
+    def sample_offline(self, rng: np.random.Generator) -> float:
+        return self.offline
+
+    @property
+    def availability(self) -> float:
+        return self.online / (self.online + self.offline)
+
+    def __repr__(self) -> str:
+        return f"PeriodicOnOff(online={self.online}, offline={self.offline})"

@@ -1,0 +1,109 @@
+"""Simulation clock and event queue.
+
+A minimal discrete-event core: events are (time, sequence) ordered in a
+heap, callbacks run with the queue so they can schedule follow-ups.
+The sequence number makes ordering deterministic for simultaneous
+events, which keeps seeded simulations exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+import itertools
+from typing import Callable
+
+__all__ = ["ScheduledEvent", "EventQueue"]
+
+
+@dataclasses.dataclass(order=True)
+class ScheduledEvent:
+    """One pending event; comparison uses (time, sequence) only."""
+
+    time: float
+    sequence: int
+    callback: Callable[["EventQueue"], None] = dataclasses.field(compare=False)
+    label: str = dataclasses.field(compare=False, default="")
+    cancelled: bool = dataclasses.field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event dead; it will be skipped when popped."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A deterministic discrete-event loop."""
+
+    def __init__(self, start_time: float = 0.0):
+        self.now = start_time
+        self._heap: list[ScheduledEvent] = []
+        self._sequence = itertools.count()
+        self.processed = 0
+
+    def __len__(self) -> int:
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def schedule(
+        self, delay: float, callback: Callable[["EventQueue"], None], label: str = ""
+    ) -> ScheduledEvent:
+        """Schedule ``callback`` to run ``delay`` time units from now."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        event = ScheduledEvent(
+            time=self.now + delay,
+            sequence=next(self._sequence),
+            callback=callback,
+            label=label,
+        )
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_at(
+        self, time: float, callback: Callable[["EventQueue"], None], label: str = ""
+    ) -> ScheduledEvent:
+        """Schedule ``callback`` at an absolute time >= now."""
+        if time < self.now:
+            raise ValueError(f"cannot schedule into the past (time={time} < now={self.now})")
+        return self.schedule(time - self.now, callback, label)
+
+    def step(self) -> bool:
+        """Run the next live event; returns False when the queue is empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            event.callback(self)
+            self.processed += 1
+            return True
+        return False
+
+    def run_until(self, end_time: float, max_events: int | None = None) -> int:
+        """Run events with time <= end_time; returns how many ran.
+
+        ``max_events`` is a runaway guard for pathological configurations
+        (e.g. a repair storm that schedules faster than it drains).
+        """
+        ran = 0
+        while self._heap:
+            head = self._heap[0]
+            if head.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if head.time > end_time:
+                break
+            self.step()
+            ran += 1
+            if max_events is not None and ran >= max_events:
+                break
+        self.now = max(self.now, end_time)
+        return ran
+
+    def run_all(self, max_events: int = 1_000_000) -> int:
+        """Drain the queue completely (bounded by ``max_events``)."""
+        ran = 0
+        while self.step():
+            ran += 1
+            if ran >= max_events:
+                raise RuntimeError(f"event queue did not drain within {max_events} events")
+        return ran

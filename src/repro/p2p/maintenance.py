@@ -1,0 +1,80 @@
+"""Maintenance policies: when to trigger repairs (paper section 2.1).
+
+"Periodically this number must be refurbished by the maintenance, which
+is performed by the means of repairs."  Two classic policies:
+
+- **eager**: repair the moment a block is lost -- minimal risk window,
+  maximal repair traffic (every transient loss is paid for);
+- **lazy**: tolerate losses until live redundancy reaches a threshold,
+  then batch-repair back to full -- fewer, larger repair episodes.
+
+A policy decides only *how many* blocks to regenerate now; the
+simulator executes the repairs through the redundancy scheme.
+"""
+
+from __future__ import annotations
+
+import abc
+
+__all__ = ["MaintenancePolicy", "EagerMaintenance", "LazyMaintenance"]
+
+
+class MaintenancePolicy(abc.ABC):
+    """Decides repair counts from a file's live/total block state."""
+
+    @abc.abstractmethod
+    def repairs_needed(self, live_blocks: int, total_blocks: int, min_blocks: int) -> int:
+        """How many blocks to regenerate right now.
+
+        ``min_blocks`` is the reconstruction threshold k; a sound policy
+        never lets ``live_blocks`` cross below it on purpose.
+        """
+
+    def check_interval(self) -> float | None:
+        """Optional periodic check interval; None means purely event-driven."""
+        return None
+
+
+class EagerMaintenance(MaintenancePolicy):
+    """Repair every loss immediately."""
+
+    def repairs_needed(self, live_blocks: int, total_blocks: int, min_blocks: int) -> int:
+        if live_blocks > total_blocks:
+            raise ValueError("live blocks cannot exceed total blocks")
+        return total_blocks - live_blocks
+
+    def __repr__(self) -> str:
+        return "EagerMaintenance()"
+
+
+class LazyMaintenance(MaintenancePolicy):
+    """Batch repairs when live redundancy reaches ``threshold`` blocks.
+
+    ``threshold`` must be at least the reconstruction degree k (below
+    that the file is already unrecoverable); a margin above k guards
+    against losses that land while a batch repair is in flight.
+    """
+
+    def __init__(self, threshold: int, interval: float | None = None):
+        if threshold < 1:
+            raise ValueError(f"threshold must be positive, got {threshold}")
+        self.threshold = threshold
+        self.interval = interval
+
+    def repairs_needed(self, live_blocks: int, total_blocks: int, min_blocks: int) -> int:
+        if live_blocks > total_blocks:
+            raise ValueError("live blocks cannot exceed total blocks")
+        if self.threshold < min_blocks:
+            raise ValueError(
+                f"lazy threshold {self.threshold} below reconstruction degree "
+                f"{min_blocks}: the policy would lose files by design"
+            )
+        if live_blocks > self.threshold:
+            return 0
+        return total_blocks - live_blocks
+
+    def check_interval(self) -> float | None:
+        return self.interval
+
+    def __repr__(self) -> str:
+        return f"LazyMaintenance(threshold={self.threshold}, interval={self.interval})"

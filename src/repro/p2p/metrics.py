@@ -1,0 +1,135 @@
+"""Simulation metrics: the paper's three costs, measured in a live system.
+
+Section 2.1 decomposes every redundancy scheme's cost into storage,
+communication and computation.  The simulator feeds this collector so a
+run can be summarized as exactly those quantities plus durability
+outcomes (files lost, repairs that came too late).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+__all__ = ["SimulationMetrics", "RepairRecord"]
+
+
+@dataclasses.dataclass(frozen=True)
+class RepairRecord:
+    """One completed repair, for traffic distributions and debugging."""
+
+    time: float
+    file_id: int
+    block_index: int
+    repair_degree: int
+    bytes_downloaded: int
+    duration_seconds: float
+
+
+@dataclasses.dataclass
+class SimulationMetrics:
+    """Aggregated counters for one simulation run."""
+
+    insert_bytes: int = 0
+    repair_bytes: int = 0
+    restore_bytes: int = 0
+    repairs_completed: int = 0
+    repairs_failed: int = 0
+    files_inserted: int = 0
+    files_lost: int = 0
+    files_restored: int = 0
+    peer_deaths: int = 0
+    block_losses: int = 0
+    transient_disconnects: int = 0
+    duplicates_dropped: int = 0
+    repair_records: list[RepairRecord] = dataclasses.field(default_factory=list)
+    storage_samples: list[tuple[float, int]] = dataclasses.field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+
+    def record_insert(self, traffic_bytes: int) -> None:
+        self.files_inserted += 1
+        self.insert_bytes += traffic_bytes
+
+    def record_repair(self, record: RepairRecord) -> None:
+        self.repairs_completed += 1
+        self.repair_bytes += record.bytes_downloaded
+        self.repair_records.append(record)
+
+    def record_repair_failure(self) -> None:
+        self.repairs_failed += 1
+
+    def record_restore(self, traffic_bytes: int) -> None:
+        self.files_restored += 1
+        self.restore_bytes += traffic_bytes
+
+    def record_file_loss(self) -> None:
+        self.files_lost += 1
+
+    def record_peer_death(self, blocks_lost: int) -> None:
+        self.peer_deaths += 1
+        self.block_losses += blocks_lost
+
+    def record_disconnect(self) -> None:
+        self.transient_disconnects += 1
+
+    def record_duplicate_dropped(self) -> None:
+        """A returning peer's block had been repaired elsewhere: the
+        repair was (in hindsight) unnecessary work."""
+        self.duplicates_dropped += 1
+
+    def sample_storage(self, time: float, total_bytes: int) -> None:
+        self.storage_samples.append((time, total_bytes))
+
+    # ------------------------------------------------------------------
+    # derived quantities
+    # ------------------------------------------------------------------
+
+    @property
+    def total_traffic_bytes(self) -> int:
+        return self.insert_bytes + self.repair_bytes + self.restore_bytes
+
+    def mean_repair_bytes(self) -> float:
+        """Average |repair_down| per completed repair."""
+        if not self.repairs_completed:
+            return 0.0
+        return self.repair_bytes / self.repairs_completed
+
+    def mean_repair_degree(self) -> float:
+        if not self.repair_records:
+            return 0.0
+        return sum(record.repair_degree for record in self.repair_records) / len(
+            self.repair_records
+        )
+
+    def durability(self) -> float:
+        """Fraction of inserted files never lost during the run."""
+        if not self.files_inserted:
+            return 1.0
+        return 1.0 - self.files_lost / self.files_inserted
+
+    def peak_storage_bytes(self) -> int:
+        if not self.storage_samples:
+            return 0
+        return max(total for _, total in self.storage_samples)
+
+    def summary(self) -> dict[str, float]:
+        """Flat dict for reports and benchmark output rows."""
+        return {
+            "files_inserted": self.files_inserted,
+            "files_lost": self.files_lost,
+            "durability": self.durability(),
+            "peer_deaths": self.peer_deaths,
+            "block_losses": self.block_losses,
+            "repairs_completed": self.repairs_completed,
+            "repairs_failed": self.repairs_failed,
+            "insert_bytes": self.insert_bytes,
+            "repair_bytes": self.repair_bytes,
+            "restore_bytes": self.restore_bytes,
+            "mean_repair_bytes": self.mean_repair_bytes(),
+            "mean_repair_degree": self.mean_repair_degree(),
+            "peak_storage_bytes": self.peak_storage_bytes(),
+            "transient_disconnects": self.transient_disconnects,
+            "duplicates_dropped": self.duplicates_dropped,
+        }

@@ -1,0 +1,194 @@
+"""Transfer-time and pipelined-computation models (paper section 5.2).
+
+The paper's bottleneck analysis assumes "the transfer operation is
+pipelined with the coding": a fragment is transmitted as soon as it is
+produced.  Under that assumption the duration of an operation is
+
+    max(transfer time, computation time)
+
+and the *bottleneck network bandwidth* bnb = |data| / t_cpu is the peer
+bandwidth at which the two sides balance.  :class:`PipelinedComputation`
+implements exactly this; :class:`NetworkModel` provides the underlying
+transfer times for the simulator's repair/insert/restore flows.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+__all__ = ["LinkScheduler", "NetworkModel", "PipelinedComputation", "TransferPlan"]
+
+
+@dataclasses.dataclass(frozen=True)
+class TransferPlan:
+    """A resolved multi-party transfer with its component times."""
+
+    transfer_seconds: float
+    computation_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        """Pipelined duration: the slower of network and CPU."""
+        return max(self.transfer_seconds, self.computation_seconds)
+
+    @property
+    def network_bound(self) -> bool:
+        """True when more peer bandwidth would speed this operation up."""
+        return self.transfer_seconds >= self.computation_seconds
+
+
+class NetworkModel:
+    """Bandwidth-constrained transfer timing between peers.
+
+    A simple access-link model: every transfer is limited by the
+    sender's uplink and the receiver's downlink, plus a fixed per-flow
+    setup latency.  Concurrent uploads into one receiver share its
+    downlink (fair sharing), which is what makes a d-way repair fan-in
+    slower than d independent transfers.
+    """
+
+    def __init__(self, latency_seconds: float = 0.05):
+        if latency_seconds < 0:
+            raise ValueError("latency cannot be negative")
+        self.latency_seconds = latency_seconds
+
+    def point_to_point_seconds(
+        self, payload_bytes: int, uplink_bps: float, downlink_bps: float
+    ) -> float:
+        """One sender, one receiver."""
+        if payload_bytes < 0:
+            raise ValueError("payload cannot be negative")
+        if uplink_bps <= 0 or downlink_bps <= 0:
+            raise ValueError("bandwidths must be positive")
+        bits = payload_bytes * 8
+        return self.latency_seconds + bits / min(uplink_bps, downlink_bps)
+
+    def fan_in_seconds(
+        self,
+        payload_bytes_per_sender: Sequence[int],
+        uplinks_bps: Sequence[float],
+        downlink_bps: float,
+    ) -> float:
+        """d senders feeding one receiver concurrently (a repair fan-in).
+
+        The duration is the larger of (a) the slowest sender pushing its
+        share through its own uplink and (b) the receiver draining the
+        total through its downlink.
+        """
+        if len(payload_bytes_per_sender) != len(uplinks_bps):
+            raise ValueError("need one uplink per sender")
+        if not payload_bytes_per_sender:
+            return 0.0
+        slowest_sender = max(
+            bytes_ * 8 / up for bytes_, up in zip(payload_bytes_per_sender, uplinks_bps)
+        )
+        total_bits = sum(payload_bytes_per_sender) * 8
+        drain = total_bits / downlink_bps
+        return self.latency_seconds + max(slowest_sender, drain)
+
+    def fan_out_seconds(
+        self,
+        payload_bytes_per_receiver: Sequence[int],
+        uplink_bps: float,
+        downlinks_bps: Sequence[float],
+    ) -> float:
+        """One sender feeding many receivers (an insertion fan-out)."""
+        if len(payload_bytes_per_receiver) != len(downlinks_bps):
+            raise ValueError("need one downlink per receiver")
+        if not payload_bytes_per_receiver:
+            return 0.0
+        slowest_receiver = max(
+            bytes_ * 8 / down
+            for bytes_, down in zip(payload_bytes_per_receiver, downlinks_bps)
+        )
+        total_bits = sum(payload_bytes_per_receiver) * 8
+        push = total_bits / uplink_bps
+        return self.latency_seconds + max(slowest_receiver, push)
+
+
+class LinkScheduler:
+    """Serializes transfers over each peer's access link.
+
+    The plain :class:`NetworkModel` prices every transfer as if links
+    were idle; under a repair storm (exactly when maintenance matters)
+    a peer's uplink is shared by several concurrent repairs.  This
+    scheduler keeps a next-free time per uplink and downlink: a
+    transfer starts when its link frees and occupies it for its
+    duration, so concurrent repairs through one helper serialize.
+
+    Time values are in simulation time units, not seconds; callers
+    convert with their seconds-per-unit factor.
+    """
+
+    def __init__(self):
+        self._uplink_free: dict[int, float] = {}
+        self._downlink_free: dict[int, float] = {}
+
+    def uplink_free_at(self, peer_id: int) -> float:
+        return self._uplink_free.get(peer_id, 0.0)
+
+    def downlink_free_at(self, peer_id: int) -> float:
+        return self._downlink_free.get(peer_id, 0.0)
+
+    def schedule_fan_in(
+        self,
+        now: float,
+        senders: Sequence[int],
+        durations: Sequence[float],
+        receiver: int,
+        drain_duration: float,
+    ) -> float:
+        """Book a d-into-1 transfer; returns its completion time.
+
+        Each sender's upload starts when its uplink frees (never before
+        ``now``) and holds the uplink for its duration; the receiver's
+        downlink is held from when it frees until all data has drained.
+        """
+        if len(senders) != len(durations):
+            raise ValueError("need one duration per sender")
+        last_upload = now
+        for sender, duration in zip(senders, durations):
+            start = max(now, self.uplink_free_at(sender))
+            finish = start + duration
+            self._uplink_free[sender] = finish
+            last_upload = max(last_upload, finish)
+        drain_start = max(now, self.downlink_free_at(receiver))
+        completion = max(last_upload, drain_start + drain_duration)
+        self._downlink_free[receiver] = completion
+        return completion
+
+    def forget(self, peer_id: int) -> None:
+        """Release bookkeeping for a departed peer."""
+        self._uplink_free.pop(peer_id, None)
+        self._downlink_free.pop(peer_id, None)
+
+
+class PipelinedComputation:
+    """Combine transfer and computation per the paper's pipelining rule.
+
+    ``ops_per_second`` calibrates the analytic cost model (field
+    operations per second of the deployment's CPU); pass the value
+    measured by :mod:`repro.analysis.timing` for faithful simulations,
+    or ``float('inf')`` to model infinitely fast peers (pure-network
+    simulations).
+    """
+
+    def __init__(self, ops_per_second: float = float("inf")):
+        if ops_per_second <= 0:
+            raise ValueError("ops_per_second must be positive")
+        self.ops_per_second = ops_per_second
+
+    def seconds_for_ops(self, operations: float) -> float:
+        if operations < 0:
+            raise ValueError("operation count cannot be negative")
+        if self.ops_per_second == float("inf"):
+            return 0.0
+        return operations / self.ops_per_second
+
+    def plan(self, transfer_seconds: float, operations: float) -> TransferPlan:
+        """Resolve one pipelined operation."""
+        return TransferPlan(
+            transfer_seconds=transfer_seconds,
+            computation_seconds=self.seconds_for_ops(operations),
+        )

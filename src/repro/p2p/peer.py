@@ -1,0 +1,91 @@
+"""Peer state: identity, bandwidth, lifetime, and stored blocks.
+
+Peers are the storage substrate of section 1: "common PCs equipped with
+high-capacity local disks".  Each peer has asymmetric access bandwidth
+(the ADSL-like regime the paper's bottleneck analysis targets) and a
+registry of the blocks it stores, keyed by file id.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.codes.base import Block
+
+__all__ = ["Peer"]
+
+
+@dataclasses.dataclass
+class Peer:
+    """One storage peer.
+
+    Bandwidths are in bits per second to match the paper's Table 1
+    units; ``storage_limit_bytes`` of None means unbounded disk.
+    """
+
+    peer_id: int
+    join_time: float
+    death_time: float
+    upload_bps: float = 8e6
+    download_bps: float = 8e6
+    storage_limit_bytes: int | None = None
+    stored: dict[int, "Block"] = dataclasses.field(default_factory=dict)
+    alive: bool = True
+    #: Transient availability: an offline peer keeps its blocks (its disk
+    #: is intact) but cannot serve or accept transfers until it returns.
+    online: bool = True
+
+    def __post_init__(self) -> None:
+        if self.death_time < self.join_time:
+            raise ValueError("a peer cannot die before joining")
+        if self.upload_bps <= 0 or self.download_bps <= 0:
+            raise ValueError("bandwidths must be positive")
+
+    @property
+    def lifetime(self) -> float:
+        return self.death_time - self.join_time
+
+    @property
+    def is_available(self) -> bool:
+        """Reachable right now: alive and online."""
+        return self.alive and self.online
+
+    @property
+    def used_bytes(self) -> int:
+        return sum(block.payload_bytes for block in self.stored.values())
+
+    def free_bytes(self) -> float:
+        if self.storage_limit_bytes is None:
+            return float("inf")
+        return self.storage_limit_bytes - self.used_bytes
+
+    def can_store(self, payload_bytes: int) -> bool:
+        return self.alive and self.free_bytes() >= payload_bytes
+
+    def store(self, file_id: int, block: "Block") -> None:
+        """Accept a block for ``file_id`` (one block per file per peer)."""
+        if not self.alive:
+            raise RuntimeError(f"peer {self.peer_id} is dead")
+        if file_id in self.stored:
+            raise ValueError(f"peer {self.peer_id} already stores a block of file {file_id}")
+        if not self.can_store(block.payload_bytes):
+            raise ValueError(f"peer {self.peer_id} is out of storage space")
+        self.stored[file_id] = block
+
+    def drop(self, file_id: int) -> None:
+        """Remove the stored block of ``file_id`` (e.g. replaced elsewhere)."""
+        self.stored.pop(file_id, None)
+
+    def kill(self) -> None:
+        """Permanent departure: the peer and everything it stored are gone."""
+        self.alive = False
+        self.stored.clear()
+
+    def __repr__(self) -> str:
+        state = "alive" if self.alive else "dead"
+        return (
+            f"Peer(id={self.peer_id}, {state}, files={len(self.stored)}, "
+            f"up={self.upload_bps:.0f}bps, down={self.download_bps:.0f}bps)"
+        )

@@ -1,0 +1,195 @@
+"""Churn traces: record, persist, and replay peer session timelines.
+
+Measurement studies of deployed P2P systems (the paper cites Glacier's
+failure analysis [3]) publish *traces*: per-peer join / leave /
+disconnect timelines.  Real traces are not redistributable here, so this
+module provides the synthetic equivalent that exercises the same code
+path: generate a trace from any lifetime + availability model, save it
+as JSON, and replay it into a :class:`~repro.p2p.system.BackupSystem`
+deterministically -- every scheme and policy can then be compared under
+*bit-identical* churn, which seeded simulations cannot guarantee once
+their event interleavings diverge.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+
+import numpy as np
+
+from repro.p2p.availability import AlwaysOnline, AvailabilityModel
+from repro.p2p.churn import LifetimeModel
+from repro.p2p.system import BackupSystem
+
+__all__ = ["SessionEvent", "ChurnTrace", "generate_trace", "apply_trace"]
+
+EVENT_KINDS = ("join", "death", "offline", "online")
+
+
+@dataclasses.dataclass(frozen=True)
+class SessionEvent:
+    """One timeline entry for one peer."""
+
+    time: float
+    kind: str
+    peer_label: int
+
+    def __post_init__(self) -> None:
+        if self.kind not in EVENT_KINDS:
+            raise ValueError(f"unknown event kind {self.kind!r}")
+        if self.time < 0:
+            raise ValueError("event time cannot be negative")
+
+
+@dataclasses.dataclass(frozen=True)
+class ChurnTrace:
+    """An ordered churn timeline over labelled peers."""
+
+    events: tuple[SessionEvent, ...]
+    horizon: float
+
+    def __post_init__(self) -> None:
+        times = [event.time for event in self.events]
+        if times != sorted(times):
+            raise ValueError("trace events must be time-ordered")
+        if any(event.time > self.horizon for event in self.events):
+            raise ValueError("trace contains events beyond its horizon")
+
+    @property
+    def peer_count(self) -> int:
+        return len({event.peer_label for event in self.events})
+
+    def events_of_kind(self, kind: str) -> list[SessionEvent]:
+        return [event for event in self.events if event.kind == kind]
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+
+    def save(self, path) -> None:
+        payload = {
+            "format": "repro-churn-trace-v1",
+            "horizon": self.horizon,
+            "events": [
+                {"time": event.time, "kind": event.kind, "peer": event.peer_label}
+                for event in self.events
+            ],
+        }
+        pathlib.Path(path).write_text(json.dumps(payload))
+
+    @classmethod
+    def load(cls, path) -> "ChurnTrace":
+        payload = json.loads(pathlib.Path(path).read_text())
+        if payload.get("format") != "repro-churn-trace-v1":
+            raise ValueError(f"not a churn trace file: {path}")
+        events = tuple(
+            SessionEvent(time=entry["time"], kind=entry["kind"], peer_label=entry["peer"])
+            for entry in payload["events"]
+        )
+        return cls(events=events, horizon=payload["horizon"])
+
+
+def generate_trace(
+    peers: int,
+    horizon: float,
+    lifetime_model: LifetimeModel,
+    availability_model: AvailabilityModel | None = None,
+    arrival_rate: float = 0.0,
+    seed: int = 0,
+) -> ChurnTrace:
+    """Synthesize a trace: initial peers at t=0, optional Poisson arrivals,
+    per-peer death times and on/off sessions, truncated at ``horizon``."""
+    if peers < 0 or horizon <= 0 or arrival_rate < 0:
+        raise ValueError("invalid trace parameters")
+    availability_model = availability_model if availability_model is not None else AlwaysOnline()
+    rng = np.random.default_rng(seed)
+    events: list[SessionEvent] = []
+    label_counter = 0
+
+    def emit_peer(join_time: float) -> None:
+        nonlocal label_counter
+        label = label_counter
+        label_counter += 1
+        events.append(SessionEvent(time=join_time, kind="join", peer_label=label))
+        death = join_time + lifetime_model.sample(rng)
+        clock = join_time
+        while True:
+            session = availability_model.sample_online(rng)
+            clock += session
+            if clock >= min(death, horizon):
+                break
+            events.append(SessionEvent(time=clock, kind="offline", peer_label=label))
+            outage = availability_model.sample_offline(rng)
+            clock += outage
+            if clock >= min(death, horizon):
+                break
+            events.append(SessionEvent(time=clock, kind="online", peer_label=label))
+        if death <= horizon:
+            events.append(SessionEvent(time=death, kind="death", peer_label=label))
+
+    for _ in range(peers):
+        emit_peer(0.0)
+    if arrival_rate > 0:
+        clock = float(rng.exponential(1.0 / arrival_rate))
+        while clock < horizon:
+            emit_peer(clock)
+            clock += float(rng.exponential(1.0 / arrival_rate))
+
+    events.sort(key=lambda event: (event.time, event.peer_label))
+    return ChurnTrace(events=tuple(events), horizon=horizon)
+
+
+def apply_trace(system: BackupSystem, trace: ChurnTrace) -> dict[int, int]:
+    """Schedule a trace's events onto a backup system's queue.
+
+    The system should be configured with ``initial_peers=0``, no
+    arrivals, and the default AlwaysOnline availability so that *all*
+    churn comes from the trace.  Returns the mapping from trace peer
+    labels to created peer ids.
+
+    Join events create the peer with its death time taken from the
+    trace (or beyond the horizon if the trace records no death);
+    offline/online events drive the transient-availability machinery
+    directly, bypassing the system's own availability model.
+    """
+    deaths = {
+        event.peer_label: event.time for event in trace.events_of_kind("death")
+    }
+    label_to_peer: dict[int, int] = {}
+
+    for event in trace.events:
+        if event.kind == "join":
+
+            def do_join(queue, event=event):
+                death_time = deaths.get(event.peer_label, trace.horizon * 2 + 1)
+                peer = system.add_peer(death_time=death_time)
+                label_to_peer[event.peer_label] = peer.peer_id
+
+            if event.time <= system.queue.now:
+                do_join(system.queue)
+            else:
+                system.queue.schedule_at(event.time, do_join, label=f"trace-join:{event.peer_label}")
+        elif event.kind == "offline":
+            system.queue.schedule_at(
+                event.time,
+                lambda queue, event=event: system._on_peer_offline(
+                    system.peers[label_to_peer[event.peer_label]], rejoin_after=None
+                )
+                if event.peer_label in label_to_peer
+                else None,
+                label=f"trace-offline:{event.peer_label}",
+            )
+        elif event.kind == "online":
+            system.queue.schedule_at(
+                event.time,
+                lambda queue, event=event: system._on_peer_online(
+                    system.peers[label_to_peer[event.peer_label]], schedule_next=False
+                )
+                if event.peer_label in label_to_peer
+                else None,
+                label=f"trace-online:{event.peer_label}",
+            )
+        # Deaths are handled by add_peer's death_time scheduling.
+    return label_to_peer

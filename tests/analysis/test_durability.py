@@ -1,0 +1,173 @@
+"""Tests for the durability Markov model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.durability import DurabilityModel, mttdl_for_params
+from repro.core.params import RCParams
+
+
+def model(total=6, minimum=3, fail=0.01, repair=1.0):
+    return DurabilityModel(
+        total_blocks=total, min_blocks=minimum, failure_rate=fail, repair_rate=repair
+    )
+
+
+class TestValidation:
+    def test_bad_block_counts(self):
+        with pytest.raises(ValueError):
+            model(total=3, minimum=3)
+        with pytest.raises(ValueError):
+            model(minimum=0)
+
+    def test_bad_rates(self):
+        with pytest.raises(ValueError):
+            model(fail=0)
+        with pytest.raises(ValueError):
+            model(repair=-1)
+
+    def test_negative_horizon(self):
+        with pytest.raises(ValueError):
+            model().loss_probability(-1)
+
+
+class TestGenerator:
+    def test_rows_sum_to_leakage(self):
+        """Only the lowest transient state leaks to absorption."""
+        chain = model()
+        matrix = chain.generator_matrix()
+        sums = matrix.sum(axis=1)
+        assert sums[0] == pytest.approx(-chain.min_blocks * chain.failure_rate)
+        assert np.allclose(sums[1:], 0.0)
+
+    def test_structure_is_tridiagonal(self):
+        matrix = model().generator_matrix()
+        for row in range(matrix.shape[0]):
+            for col in range(matrix.shape[1]):
+                if abs(row - col) > 1:
+                    assert matrix[row, col] == 0.0
+
+    def test_no_repairs_from_full_state(self):
+        chain = model()
+        matrix = chain.generator_matrix()
+        assert matrix[-1, -1] == pytest.approx(
+            -chain.total_blocks * chain.failure_rate
+        )
+
+
+class TestMTTDL:
+    def test_no_repair_closed_form(self):
+        """Without repairs the chain is a pure death process:
+        MTTDL = sum_{n=k}^{N} 1 / (n * lambda)."""
+        chain = model(total=6, minimum=3, fail=0.1, repair=0.0)
+        expected = sum(1.0 / (n * 0.1) for n in range(3, 7))
+        assert chain.mttdl() == pytest.approx(expected)
+
+    def test_repairs_extend_lifetime(self):
+        without = model(repair=0.0).mttdl()
+        with_repairs = model(repair=1.0).mttdl()
+        assert with_repairs > 10 * without
+
+    def test_mttdl_grows_fast_with_repair_rate(self):
+        """Roughly (mu/lambda)^h scaling: doubling mu multiplies MTTDL
+        by far more than 2 when h > 1."""
+        slow = model(repair=0.5).mttdl()
+        fast = model(repair=1.0).mttdl()
+        assert fast > 3 * slow
+
+    def test_more_redundancy_more_durability(self):
+        small = model(total=5, minimum=3).mttdl()
+        large = model(total=8, minimum=3).mttdl()
+        assert large > small
+
+    def test_agrees_with_simulation(self):
+        """Cross-check the analytic MTTDL against a direct Monte Carlo
+        simulation of the same chain."""
+        chain = model(total=4, minimum=2, fail=0.2, repair=0.5)
+        rng = np.random.default_rng(0)
+        totals = []
+        for _ in range(3000):
+            n = 4
+            clock = 0.0
+            while n >= 2:
+                down = n * 0.2
+                up = (4 - n) * 0.5
+                clock += rng.exponential(1.0 / (down + up))
+                n += 1 if rng.random() < up / (down + up) else -1
+            totals.append(clock)
+        assert chain.mttdl() == pytest.approx(np.mean(totals), rel=0.1)
+
+
+class TestLossProbability:
+    def test_zero_horizon(self):
+        assert model().loss_probability(0.0) == 0.0
+
+    def test_monotone_in_horizon(self):
+        chain = model(fail=0.05, repair=0.2)
+        values = [chain.loss_probability(t) for t in (1.0, 10.0, 100.0, 1000.0)]
+        assert all(a <= b for a, b in zip(values, values[1:]))
+
+    def test_approaches_one(self):
+        chain = model(total=4, minimum=3, fail=1.0, repair=0.1)
+        assert chain.loss_probability(1000.0) > 0.999
+
+    def test_consistent_with_mttdl_scale(self):
+        """At t = MTTDL the loss probability is substantial (a mostly
+        memoryless absorption gives ~1 - 1/e)."""
+        chain = model(fail=0.05, repair=0.3)
+        probability = chain.loss_probability(chain.mttdl())
+        assert 0.4 < probability < 0.8
+
+
+class TestPaperConnection:
+    """Repair traffic -> repair rate -> durability (section 6's claim)."""
+
+    def test_rc_outlives_erasure_at_equal_bandwidth(self):
+        """Same k, h, churn and repair bandwidth: the Regenerating Code's
+        ~8x smaller |repair_down| buys orders of magnitude more MTTDL."""
+        erasure = mttdl_for_params(
+            RCParams.erasure(32, 32), 1 << 20, mean_lifetime=100.0,
+            repair_bandwidth_bps=1e5,
+        )
+        regenerating = mttdl_for_params(
+            RCParams.paper_default(40, 1), 1 << 20, mean_lifetime=100.0,
+            repair_bandwidth_bps=1e5,
+        )
+        assert regenerating > 10 * erasure
+
+    def test_mbr_most_durable(self):
+        settings_ = dict(
+            file_size=1 << 20, mean_lifetime=100.0, repair_bandwidth_bps=1e5
+        )
+        mttdls = {
+            (d, i): mttdl_for_params(RCParams.paper_default(d, i), **settings_)
+            for d, i in [(32, 0), (40, 1), (63, 31)]
+        }
+        assert mttdls[(63, 31)] > mttdls[(40, 1)] > mttdls[(32, 0)]
+
+    def test_bandwidth_validation(self):
+        with pytest.raises(ValueError):
+            mttdl_for_params(RCParams.erasure(4, 4), 1 << 20, 100.0, 0)
+
+
+class TestPropertyBased:
+    @given(
+        st.integers(2, 6),
+        st.integers(1, 4),
+        st.floats(0.01, 1.0),
+        st.floats(0.0, 5.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_mttdl_positive_and_bounded_below(self, minimum, extra, fail, repair):
+        chain = DurabilityModel(
+            total_blocks=minimum + extra,
+            min_blocks=minimum,
+            failure_rate=fail,
+            repair_rate=repair,
+        )
+        value = chain.mttdl()
+        # At least the no-repair pure-death expectation.
+        floor = sum(1.0 / (n * fail) for n in range(minimum, minimum + extra + 1))
+        assert value >= floor * 0.999

@@ -1,0 +1,126 @@
+"""Tests for the per-figure data-series generators (figures 1 and 3)."""
+
+import pytest
+
+from repro.analysis.figures import (
+    PAPER_FIG1A_I_VALUES,
+    PAPER_FIG1B_I_VALUES,
+    fig1a_piece_stretch,
+    fig1b_repair_reduction,
+    fig3_coefficient_overhead,
+)
+
+MB = 1 << 20
+
+
+class TestFig1a:
+    @pytest.fixture(scope="class")
+    def series(self):
+        return fig1a_piece_stretch()
+
+    def test_curves_match_paper(self, series):
+        assert set(series) == set(PAPER_FIG1A_I_VALUES)
+        for curve in series.values():
+            assert [d for d, _ in curve] == list(range(32, 64))
+
+    def test_reference_point(self, series):
+        assert series[0][0] == (32, pytest.approx(1.0))
+
+    def test_i0_flat_at_one(self, series):
+        """MSR: the i = 0 curve is constant 1 (minimal pieces)."""
+        assert all(value == pytest.approx(1.0) for _, value in series[0])
+
+    def test_i31_starts_near_194(self, series):
+        """Read off the figure: stretch ~1.94 at (32, 31)."""
+        assert series[31][0][1] == pytest.approx(1.94, abs=0.01)
+
+    def test_range_matches_figure_axis(self, series):
+        """Figure 1(a)'s y-axis spans 0.8..2: all values in [1, 2]."""
+        for curve in series.values():
+            for _, value in curve:
+                assert 1.0 <= value <= 2.0
+
+    def test_curves_ordered_by_i(self, series):
+        """Larger i -> larger pieces at every d."""
+        for position in range(32):
+            column = [series[i][position][1] for i in PAPER_FIG1A_I_VALUES]
+            assert column == sorted(column)
+
+
+class TestFig1b:
+    @pytest.fixture(scope="class")
+    def series(self):
+        return fig1b_repair_reduction()
+
+    def test_curves_match_paper(self, series):
+        assert set(series) == set(PAPER_FIG1B_I_VALUES)
+
+    def test_reference_point(self, series):
+        assert series[0][0] == (32, pytest.approx(1.0))
+
+    def test_minimum_at_mbr(self, series):
+        """The global minimum ~0.0415 at (63, 31)."""
+        minimum = min(value for curve in series.values() for _, value in curve)
+        assert minimum == pytest.approx(0.0415, abs=5e-4)
+        assert series[31][-1][1] == pytest.approx(minimum)
+
+    def test_impressive_reduction(self, series):
+        """Section 2.2: 'an impressive reduction' -- more than 20x."""
+        assert series[31][-1][1] < 1 / 20
+
+    def test_most_savings_at_small_d(self, series):
+        """Section 5.2: 'most of the savings are already achieved by
+        quite small values of d'.  d = 40 with i = 7 is already within
+        4x of the global optimum."""
+        at_40 = dict(series[7])[40]
+        optimum = series[31][-1][1]
+        assert at_40 < 4 * optimum
+
+    def test_monotone_decreasing_in_d(self, series):
+        for curve in series.values():
+            values = [value for _, value in curve]
+            assert all(a >= b for a, b in zip(values, values[1:]))
+
+
+class TestFig3:
+    @pytest.fixture(scope="class")
+    def series(self):
+        return fig3_coefficient_overhead(file_size=MB)
+
+    def test_worst_case_over_4(self, series):
+        """'More than 4 bits of coefficients for 1 bit of data'."""
+        assert series[31][-1][1] > 4.0
+
+    def test_erasure_case_negligible(self, series):
+        assert series[0][0][1] == pytest.approx(0.00195, rel=0.01)
+
+    def test_scales_inversely_with_file_size(self):
+        small = fig3_coefficient_overhead(file_size=MB)
+        large = fig3_coefficient_overhead(file_size=4 * MB)
+        for i in PAPER_FIG1A_I_VALUES:
+            for (d1, v1), (d2, v2) in zip(small[i], large[i]):
+                assert d1 == d2
+                assert v2 == pytest.approx(v1 / 4)
+
+    def test_monotone_increasing_in_d_and_i(self, series):
+        for curve in series.values():
+            values = [value for _, value in curve]
+            assert all(a <= b for a, b in zip(values, values[1:]))
+        at_d63 = [dict(series[i])[63] for i in PAPER_FIG1A_I_VALUES]
+        assert at_d63 == sorted(at_d63)
+
+
+class TestPaperIValues:
+    def test_identity_at_k32(self):
+        from repro.analysis.figures import paper_i_values
+
+        assert paper_i_values(32) == PAPER_FIG1A_I_VALUES
+
+    def test_scaled_values_valid(self):
+        from repro.analysis.figures import paper_i_values
+
+        for k in (2, 4, 8, 16, 64):
+            values = paper_i_values(k)
+            assert values == tuple(sorted(set(values)))
+            assert all(0 <= i <= k - 1 for i in values)
+            assert 0 in values and (k - 1) in values

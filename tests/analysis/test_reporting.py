@@ -1,0 +1,75 @@
+"""Tests for the CSV/markdown artifact exporter."""
+
+import csv
+
+import pytest
+
+from repro.analysis.overhead import analytic_overhead_grid
+from repro.analysis.reporting import export_all, write_grid_csv, write_series_csv
+from repro.core.bandwidth import Operation
+
+
+class TestWriters:
+    def test_series_csv_roundtrip(self, tmp_path):
+        series = {0: [(4, 1.0), (5, 1.5)], 3: [(4, 2.0), (5, 2.5)]}
+        path = tmp_path / "series.csv"
+        write_series_csv(path, series, "value")
+        with open(path) as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 4
+        assert rows[0] == {"i": "0", "d": "4", "value": "1.0"}
+        assert {row["i"] for row in rows} == {"0", "3"}
+
+    def test_grid_csv(self, tmp_path):
+        grids = analytic_overhead_grid(k=4, h=4)
+        path = tmp_path / "grid.csv"
+        write_grid_csv(path, grids[Operation.ENCODING])
+        with open(path) as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 16  # 4 d-values x 4 i-values
+        reference = next(row for row in rows if row["d"] == "4" and row["i"] == "0")
+        assert float(reference["overhead"]) == 1.0
+
+
+class TestExportAll:
+    @pytest.fixture(scope="class")
+    def exported(self, tmp_path_factory):
+        directory = tmp_path_factory.mktemp("artifacts")
+        written = export_all(directory, k=8, h=8, file_size=1 << 16)
+        return directory, written
+
+    def test_all_files_written(self, exported):
+        directory, written = exported
+        names = {path.name for path in written}
+        assert "fig1a_piece_stretch.csv" in names
+        assert "fig1b_repair_reduction.csv" in names
+        assert "fig3_coefficient_overhead.csv" in names
+        assert "fig5_tradeoff.csv" in names
+        assert "index.md" in names
+        for operation in Operation:
+            assert f"fig4_{operation.value}_overhead.csv" in names
+        for path in written:
+            assert path.exists()
+            assert path.stat().st_size > 0
+
+    def test_index_links_every_artifact(self, exported):
+        directory, written = exported
+        index = (directory / "index.md").read_text()
+        for path in written:
+            if path.name != "index.md":
+                assert path.name in index
+
+    def test_values_parse_exactly(self, exported):
+        """repr() round-trips floats exactly through CSV."""
+        directory, _ = exported
+        with open(directory / "fig1a_piece_stretch.csv") as handle:
+            rows = list(csv.DictReader(handle))
+        first = next(row for row in rows if row["i"] == "0")
+        assert float(first["piece_stretch"]) == 1.0
+
+    def test_tradeoff_rows(self, exported):
+        directory, _ = exported
+        with open(directory / "fig5_tradeoff.csv") as handle:
+            rows = list(csv.DictReader(handle))
+        labels = {row["scheme"] for row in rows}
+        assert "MSR" in labels and "MBR" in labels

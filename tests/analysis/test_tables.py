@@ -1,0 +1,60 @@
+"""Tests for the table renderers."""
+
+import pytest
+
+from repro.analysis.tables import (
+    format_bandwidth,
+    format_bytes,
+    format_seconds,
+    render_table,
+)
+
+
+class TestFormatBandwidth:
+    def test_paper_style_values(self):
+        assert format_bandwidth(777.3e6) == "777.3 Mbps"
+        assert format_bandwidth(655e3) == "655 Kbps"
+        assert format_bandwidth(31.2e6) == "31.2 Mbps"
+
+    def test_gbps(self):
+        assert format_bandwidth(2.5e9) == "2.50 Gbps"
+
+    def test_bps(self):
+        assert format_bandwidth(500) == "500 bps"
+
+    def test_infinite(self):
+        assert format_bandwidth(float("inf")) == "no limit"
+
+
+class TestFormatBytes:
+    def test_paper_style_values(self):
+        assert format_bytes(42.47 * 1024) == "42.47 KB"
+        assert format_bytes(2.006 * (1 << 20)) == "2.006 MB"
+
+    def test_small(self):
+        assert format_bytes(100) == "100 B"
+
+
+class TestFormatSeconds:
+    def test_ranges(self):
+        assert format_seconds(0) == "0"
+        assert format_seconds(5e-6) == "5 us"
+        assert format_seconds(0.0123) == "12.3 ms"
+        assert format_seconds(2.5) == "2.50 s"
+
+
+class TestRenderTable:
+    def test_alignment_and_rule(self):
+        text = render_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert set(lines[1]) == {"-"}
+        assert all(len(line) == len(lines[0]) for line in lines[2:])
+
+    def test_row_width_validation(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [["only-one"]])
+
+    def test_empty_rows_ok(self):
+        text = render_table(["x"], [])
+        assert "x" in text

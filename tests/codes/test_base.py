@@ -1,0 +1,82 @@
+"""Tests for the shared scheme data model (Block, EncodedObject, outcomes)."""
+
+import pytest
+
+from repro.codes.base import Block, EncodedObject, RepairOutcome
+from repro.codes.replication import ReplicationScheme
+
+
+def block(index=0, size=10):
+    return Block(index=index, content=b"x" * size, payload_bytes=size)
+
+
+class TestBlock:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Block(index=-1, content=b"", payload_bytes=0)
+        with pytest.raises(ValueError):
+            Block(index=0, content=b"", payload_bytes=-1)
+
+    def test_frozen(self):
+        import dataclasses
+
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            block().index = 5
+
+
+class TestEncodedObject:
+    def _encoded(self, count=3):
+        return EncodedObject(
+            blocks=tuple(block(index, size=10 + index) for index in range(count)),
+            file_size=25,
+        )
+
+    def test_len_and_map(self):
+        encoded = self._encoded()
+        assert len(encoded) == 3
+        mapping = encoded.block_map()
+        assert set(mapping) == {0, 1, 2}
+        assert mapping[2].payload_bytes == 12
+
+    def test_storage_bytes(self):
+        assert self._encoded().storage_bytes() == 10 + 11 + 12
+
+    def test_meta_defaults_empty(self):
+        assert self._encoded().meta == {}
+
+
+class TestRepairOutcome:
+    def test_accounting(self):
+        outcome = RepairOutcome(
+            block=block(index=5),
+            participants=(1, 2, 3),
+            uploaded_per_participant={1: 100, 2: 150, 3: 50},
+        )
+        assert outcome.repair_degree == 3
+        assert outcome.bytes_downloaded == 300
+
+
+class TestSchemeDefaults:
+    def test_tolerable_failures(self):
+        scheme = ReplicationScheme(4)
+        assert scheme.tolerable_failures == 3
+
+    def test_storage_overhead_empty_file_rejected(self):
+        scheme = ReplicationScheme(2)
+        encoded = scheme.encode(b"")
+        with pytest.raises(ValueError):
+            scheme.storage_overhead(encoded)
+
+    def test_storage_overhead_value(self):
+        scheme = ReplicationScheme(3)
+        encoded = scheme.encode(b"abcd")
+        assert scheme.storage_overhead(encoded) == 3.0
+
+    def test_default_computation_hooks_are_zero(self):
+        scheme = ReplicationScheme(2)
+        assert scheme.insert_computation_ops(100) == 0.0
+        assert scheme.repair_computation_ops(100) == 0.0
+        assert scheme.reconstruct_computation_ops(100) == 0.0
+
+    def test_repr_contains_name(self):
+        assert "replication" in repr(ReplicationScheme(2))

@@ -1,0 +1,101 @@
+"""Tests for the traditional random-linear erasure code (section 3.1)."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.codes import RandomLinearErasureScheme
+from repro.codes.base import ReconstructError, RepairError
+
+
+@pytest.fixture()
+def scheme():
+    return RandomLinearErasureScheme(4, 4, rng=np.random.default_rng(42))
+
+
+class TestStructure:
+    def test_wraps_degenerate_rc(self, scheme):
+        assert scheme.params.is_erasure
+        assert scheme.params.n_piece == 1
+        assert scheme.params.n_file == 4
+
+    def test_block_payload_includes_coefficients(self, scheme, sample_data):
+        encoded = scheme.encode(sample_data)
+        piece_bytes = len(sample_data) // 4
+        coefficient_bytes = 4 * 2  # n_file coefficients of 2 bytes
+        assert encoded.blocks[0].payload_bytes == piece_bytes + coefficient_bytes
+
+
+class TestReconstruction:
+    def test_any_k_subset(self, scheme, sample_data):
+        encoded = scheme.encode(sample_data)
+        for subset in itertools.combinations(range(8), 4):
+            blocks = [encoded.blocks[index] for index in subset]
+            assert scheme.reconstruct(encoded, blocks) == sample_data
+
+    def test_insufficient_raises(self, scheme, sample_data):
+        encoded = scheme.encode(sample_data)
+        with pytest.raises(ReconstructError):
+            scheme.reconstruct(encoded, list(encoded.blocks[:3]))
+
+
+class TestClassicRepair:
+    def test_repair_moves_k_whole_pieces(self, scheme, sample_data):
+        """Section 2.1: 'for every new bit created during a repair, k
+        existing bits need to be transferred'."""
+        encoded = scheme.encode(sample_data)
+        available = encoded.block_map()
+        del available[5]
+        outcome = scheme.repair(encoded, available, 5)
+        assert outcome.repair_degree == 4
+        per_piece = encoded.blocks[0].payload_bytes
+        assert outcome.bytes_downloaded == 4 * per_piece
+        # k times the regenerated block's size:
+        assert outcome.bytes_downloaded == 4 * outcome.block.payload_bytes
+
+    def test_repaired_block_joins_any_subset(self, scheme, sample_data):
+        encoded = scheme.encode(sample_data)
+        available = encoded.block_map()
+        del available[0]
+        outcome = scheme.repair(encoded, available, 0)
+        available[0] = outcome.block
+        for subset in [(0, 1, 2, 3), (0, 5, 6, 7), (0, 2, 4, 6)]:
+            blocks = [available[index] for index in subset]
+            assert scheme.reconstruct(encoded, blocks) == sample_data
+
+    def test_repair_needs_k_survivors(self, scheme, sample_data):
+        encoded = scheme.encode(sample_data)
+        available = {index: encoded.blocks[index] for index in range(3)}
+        with pytest.raises(RepairError):
+            scheme.repair(encoded, available, 7)
+
+    def test_invalid_slot(self, scheme, sample_data):
+        encoded = scheme.encode(sample_data)
+        with pytest.raises(RepairError):
+            scheme.repair(encoded, encoded.block_map(), 99)
+
+    def test_long_repair_chain(self, scheme, sample_data):
+        """Repairs of repaired pieces must not degrade decodability."""
+        encoded = scheme.encode(sample_data)
+        available = encoded.block_map()
+        rng = np.random.default_rng(3)
+        for _ in range(16):
+            lost = int(rng.integers(0, 8))
+            available.pop(lost, None)
+            outcome = scheme.repair(encoded, available, lost)
+            available[lost] = outcome.block
+        subset = [available[index] for index in (1, 3, 5, 7)]
+        assert scheme.reconstruct(encoded, subset) == sample_data
+
+
+class TestComputationAccounting:
+    def test_participants_free_newcomer_pays(self, scheme):
+        """The asymmetry behind the paper's figure 4(b) normalization."""
+        model_ops = scheme.repair_computation_ops(1 << 20)
+        assert model_ops > 0  # newcomer combination
+        from repro.core.costs import CostModel
+
+        model = CostModel(scheme.params, 1 << 20)
+        assert model.participant_repair_ops() == 0
+        assert model_ops == float(model.newcomer_repair_ops())

@@ -1,0 +1,118 @@
+"""Tests for the Rodrigues-Liskov hybrid scheme (paper ref [5])."""
+
+import numpy as np
+import pytest
+
+from repro.codes import HybridScheme
+from repro.codes.base import ReconstructError, RepairError
+from repro.codes.hybrid import REPLICA_INDEX
+
+
+@pytest.fixture()
+def scheme():
+    return HybridScheme(4, 3)
+
+
+class TestStructure:
+    def test_block_zero_is_replica(self, scheme, sample_data):
+        encoded = scheme.encode(sample_data)
+        assert bytes(encoded.blocks[REPLICA_INDEX].content) == sample_data
+        assert encoded.blocks[REPLICA_INDEX].payload_bytes == len(sample_data)
+
+    def test_total_blocks_is_replica_plus_pieces(self, scheme):
+        assert scheme.total_blocks == 1 + 4 + 3
+
+    def test_storage_asymmetry(self, scheme, sample_data):
+        """The paper's criticism: 'a loss in terms of storage efficiency'
+        -- the hybrid stores a whole extra file."""
+        encoded = scheme.encode(sample_data)
+        erasure_only = len(sample_data) * 7 // 4
+        assert encoded.storage_bytes() == len(sample_data) + erasure_only
+
+
+class TestReconstruction:
+    def test_replica_alone_suffices(self, scheme, sample_data):
+        encoded = scheme.encode(sample_data)
+        assert scheme.reconstruct(encoded, [encoded.blocks[0]]) == sample_data
+
+    def test_k_pieces_without_replica(self, scheme, sample_data):
+        encoded = scheme.encode(sample_data)
+        pieces = list(encoded.blocks[1:5])
+        assert scheme.reconstruct(encoded, pieces) == sample_data
+
+    def test_insufficient_pieces_without_replica(self, scheme, sample_data):
+        encoded = scheme.encode(sample_data)
+        with pytest.raises(ReconstructError):
+            scheme.reconstruct(encoded, list(encoded.blocks[1:4]))
+
+
+class TestRepair:
+    def test_piece_repair_costs_one_piece(self, scheme, sample_data):
+        """The selling point: repair traffic equals the replication case
+        (one piece moves, served by the replica holder)."""
+        encoded = scheme.encode(sample_data)
+        available = encoded.block_map()
+        del available[3]
+        outcome = scheme.repair(encoded, available, 3)
+        assert outcome.participants == (REPLICA_INDEX,)
+        assert outcome.bytes_downloaded == outcome.block.payload_bytes
+        assert outcome.bytes_downloaded < len(sample_data)
+
+    def test_piece_repair_is_exact(self, scheme, sample_data):
+        """RS inner code is deterministic, so the replica regenerates the
+        bit-identical piece."""
+        encoded = scheme.encode(sample_data)
+        available = encoded.block_map()
+        del available[2]
+        outcome = scheme.repair(encoded, available, 2)
+        assert np.all(outcome.block.content == encoded.blocks[2].content)
+
+    def test_replica_repair_costs_k_pieces(self, scheme, sample_data):
+        """Losing the replica is the expensive, asymmetric case."""
+        encoded = scheme.encode(sample_data)
+        available = encoded.block_map()
+        del available[REPLICA_INDEX]
+        outcome = scheme.repair(encoded, available, REPLICA_INDEX)
+        assert outcome.repair_degree == scheme.k
+        assert bytes(outcome.block.content) == sample_data
+        assert outcome.bytes_downloaded >= len(sample_data)
+
+    def test_replica_repair_needs_k_pieces(self, scheme, sample_data):
+        encoded = scheme.encode(sample_data)
+        available = {1: encoded.blocks[1], 2: encoded.blocks[2]}
+        with pytest.raises(RepairError):
+            scheme.repair(encoded, available, REPLICA_INDEX)
+
+    def test_degraded_piece_repair_without_replica(self, scheme, sample_data):
+        """With the replica dead, piece repairs fall back to the k-piece
+        erasure path."""
+        encoded = scheme.encode(sample_data)
+        available = encoded.block_map()
+        del available[REPLICA_INDEX]
+        del available[1]
+        outcome = scheme.repair(encoded, available, 1)
+        assert outcome.repair_degree == scheme.k
+        assert REPLICA_INDEX not in outcome.participants
+        available[1] = outcome.block
+        assert scheme.reconstruct(encoded, list(available.values())) == sample_data
+
+    def test_invalid_slot(self, scheme, sample_data):
+        encoded = scheme.encode(sample_data)
+        with pytest.raises(RepairError):
+            scheme.repair(encoded, encoded.block_map(), 42)
+
+    def test_full_recovery_cycle(self, scheme, sample_data):
+        """Lose replica and a piece; repair both; everything still works."""
+        encoded = scheme.encode(sample_data)
+        available = encoded.block_map()
+        del available[REPLICA_INDEX]
+        del available[5]
+        replica_outcome = scheme.repair(encoded, available, REPLICA_INDEX)
+        available[REPLICA_INDEX] = replica_outcome.block
+        piece_outcome = scheme.repair(encoded, available, 5)
+        available[5] = piece_outcome.block
+        assert scheme.reconstruct(encoded, [available[REPLICA_INDEX]]) == sample_data
+        assert (
+            scheme.reconstruct(encoded, [available[index] for index in (1, 2, 5, 6)])
+            == sample_data
+        )

@@ -1,0 +1,165 @@
+"""Tests for block integrity checking (corruption detection)."""
+
+import numpy as np
+import pytest
+
+from repro.codes import (
+    BlockCorruptionError,
+    ChecksummedScheme,
+    ProductMatrixMBR,
+    RandomLinearErasureScheme,
+    RegeneratingCodeScheme,
+    ReplicationScheme,
+    block_digest,
+    corrupt_block,
+)
+from repro.codes.base import ReconstructError
+from repro.core.params import RCParams
+
+
+def schemes():
+    return [
+        ReplicationScheme(3),
+        RandomLinearErasureScheme(4, 4, rng=np.random.default_rng(1)),
+        RegeneratingCodeScheme(RCParams(4, 4, 5, 1), rng=np.random.default_rng(2)),
+        ProductMatrixMBR(n=8, k=4, d=6),
+    ]
+
+
+@pytest.fixture(params=range(len(schemes())), ids=lambda i: schemes()[i].name)
+def wrapped(request):
+    return ChecksummedScheme(schemes()[request.param])
+
+
+class TestDigests:
+    def test_digest_stable(self, wrapped, sample_data):
+        encoded = wrapped.encode(sample_data)
+        block = encoded.blocks[0]
+        assert block_digest(block) == block_digest(block)
+
+    def test_digest_detects_flip(self, wrapped, sample_data):
+        encoded = wrapped.encode(sample_data)
+        block = encoded.blocks[0]
+        assert block_digest(corrupt_block(block)) != block_digest(block)
+
+    def test_corrupt_block_preserves_shape(self, wrapped, sample_data):
+        encoded = wrapped.encode(sample_data)
+        block = encoded.blocks[0]
+        bad = corrupt_block(block)
+        assert bad.index == block.index
+        assert bad.payload_bytes == block.payload_bytes
+
+    def test_encode_records_all_digests(self, wrapped, sample_data):
+        encoded = wrapped.encode(sample_data)
+        digests = encoded.meta["block_digests"]
+        assert set(digests) == set(range(wrapped.total_blocks))
+
+
+class TestReconstructWithCorruption:
+    def test_clean_roundtrip(self, wrapped, sample_data):
+        encoded = wrapped.encode(sample_data)
+        assert wrapped.reconstruct(encoded, list(encoded.blocks)) == sample_data
+
+    def test_corrupted_block_ignored_when_redundancy_allows(self, wrapped, sample_data):
+        encoded = wrapped.encode(sample_data)
+        blocks = list(encoded.blocks)
+        blocks[0] = corrupt_block(blocks[0])
+        assert wrapped.reconstruct(encoded, blocks) == sample_data
+        assert wrapped.corruption_detected == 1
+
+    def test_too_much_corruption_fails_loudly(self, wrapped, sample_data):
+        encoded = wrapped.encode(sample_data)
+        blocks = [corrupt_block(block) for block in encoded.blocks]
+        with pytest.raises(ReconstructError):
+            wrapped.reconstruct(encoded, blocks)
+        # Crucially: it fails, it does NOT return wrong bytes.
+
+    def test_strict_mode_raises_immediately(self, sample_data):
+        wrapped = ChecksummedScheme(ReplicationScheme(3), strict=True)
+        encoded = wrapped.encode(sample_data)
+        blocks = [corrupt_block(encoded.blocks[0])] + list(encoded.blocks[1:])
+        with pytest.raises(BlockCorruptionError):
+            wrapped.reconstruct(encoded, blocks)
+
+    def test_unwrapped_object_rejected(self, sample_data):
+        inner = ReplicationScheme(3)
+        wrapped = ChecksummedScheme(inner)
+        encoded = inner.encode(sample_data)  # no digests recorded
+        with pytest.raises(ReconstructError):
+            wrapped.reconstruct(encoded, list(encoded.blocks))
+
+
+class TestRepairWithCorruption:
+    def test_repair_skips_corrupted_helpers(self, sample_data):
+        wrapped = ChecksummedScheme(
+            RegeneratingCodeScheme(RCParams(4, 4, 5, 1), rng=np.random.default_rng(3))
+        )
+        encoded = wrapped.encode(sample_data)
+        available = encoded.block_map()
+        del available[7]
+        available[0] = corrupt_block(available[0])
+        outcome = wrapped.repair(encoded, available, 7)
+        assert 0 not in outcome.participants
+        assert wrapped.corruption_detected == 1
+        available[7] = outcome.block
+        del available[0]
+        assert wrapped.reconstruct(encoded, list(available.values())) == sample_data
+
+    def test_repair_updates_digest_directory(self, sample_data):
+        wrapped = ChecksummedScheme(
+            RegeneratingCodeScheme(RCParams(4, 4, 5, 1), rng=np.random.default_rng(4))
+        )
+        encoded = wrapped.encode(sample_data)
+        available = encoded.block_map()
+        del available[7]
+        outcome = wrapped.repair(encoded, available, 7)
+        digests = encoded.meta["block_digests"]
+        assert digests[7] == block_digest(outcome.block)
+        # The new (functional-repair) block passes future verification.
+        available[7] = outcome.block
+        assert wrapped.reconstruct(
+            encoded, [available[i] for i in (7, 1, 2, 3)]
+        ) == sample_data
+
+    def test_exact_repair_digest_is_unchanged(self, sample_data):
+        """Product-matrix repair regenerates bit-identical content, so
+        the directory entry stays the same."""
+        wrapped = ChecksummedScheme(ProductMatrixMBR(n=8, k=4, d=6))
+        encoded = wrapped.encode(sample_data)
+        before = dict(encoded.meta["block_digests"])
+        available = encoded.block_map()
+        del available[5]
+        wrapped.repair(encoded, available, 5)
+        assert encoded.meta["block_digests"] == before
+
+
+class TestPassthrough:
+    def test_structure_delegates(self):
+        inner = RegeneratingCodeScheme(RCParams(4, 4, 5, 1))
+        wrapped = ChecksummedScheme(inner)
+        assert wrapped.total_blocks == inner.total_blocks
+        assert wrapped.reconstruction_degree == inner.reconstruction_degree
+        assert wrapped.insert_computation_ops(4096) == inner.insert_computation_ops(4096)
+        assert wrapped.repair_computation_ops(4096) == inner.repair_computation_ops(4096)
+        assert "checksummed" in wrapped.name
+
+    def test_checksummed_scheme_in_simulator(self, sample_data):
+        """The wrapper satisfies the full scheme contract end to end."""
+        from repro.p2p.churn import ExponentialLifetime
+        from repro.p2p.system import BackupSystem, SimulationConfig
+
+        wrapped = ChecksummedScheme(
+            RegeneratingCodeScheme(RCParams(4, 4, 5, 1), rng=np.random.default_rng(5))
+        )
+        system = BackupSystem(
+            wrapped,
+            SimulationConfig(
+                initial_peers=30,
+                lifetime_model=ExponentialLifetime(300.0),
+                peer_arrival_rate=0.2,
+                seed=6,
+            ),
+        )
+        file_id = system.insert_file(sample_data)
+        system.run(300.0)
+        assert system.restore_file(file_id) == sample_data

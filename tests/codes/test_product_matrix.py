@@ -1,0 +1,222 @@
+"""Tests for the exact-repair product-matrix regenerating codes."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codes.base import ReconstructError, RepairError
+from repro.codes.product_matrix import ProductMatrixMBR, ProductMatrixMSR
+from repro.core.params import RCParams
+from repro.gf.field import GF
+
+
+@pytest.fixture()
+def mbr():
+    return ProductMatrixMBR(n=8, k=4, d=6)
+
+
+@pytest.fixture()
+def msr():
+    return ProductMatrixMSR(n=8, k=4)
+
+
+class TestConstruction:
+    def test_mbr_validation(self):
+        with pytest.raises(ValueError):
+            ProductMatrixMBR(n=4, k=4, d=4)  # d < n violated
+        with pytest.raises(ValueError):
+            ProductMatrixMBR(n=8, k=5, d=4)  # k <= d violated
+
+    def test_msr_needs_k_at_least_2(self):
+        with pytest.raises(ValueError):
+            ProductMatrixMSR(n=8, k=1)
+
+    def test_msr_fixes_d(self, msr):
+        assert msr.d == 2 * msr.k - 2
+
+    def test_field_too_small(self):
+        with pytest.raises(ValueError):
+            ProductMatrixMBR(n=16, k=4, d=6, field=GF(4))
+
+    def test_mbr_message_size_matches_paper_nfile(self):
+        """PM-MBR's B = kd - k(k-1)/2 equals the paper's n_file at
+        i = k - 1: both codes sit on the same MBR point of figure 1."""
+        for k, h, d in [(4, 4, 6), (8, 8, 12), (32, 32, 63)]:
+            params = RCParams(k=k, h=h, d=d, i=k - 1)
+            assert k * d - k * (k - 1) // 2 == params.n_file
+
+    def test_msr_message_size(self, msr):
+        assert msr.message_size == msr.k * (msr.k - 1)
+        assert msr.alpha == msr.k - 1
+
+    def test_mbr_piece_is_d_symbols(self, mbr, sample_data):
+        encoded = mbr.encode(sample_data)
+        assert encoded.blocks[0].content.shape[0] == mbr.d
+
+    def test_msr_piece_is_alpha_symbols(self, msr, sample_data):
+        encoded = msr.encode(sample_data)
+        assert encoded.blocks[0].content.shape[0] == msr.alpha
+
+
+class TestReconstruction:
+    def test_mbr_every_k_subset(self, mbr, sample_data):
+        """Deterministic construction: ALL k-subsets decode, no 'w.h.p.'."""
+        encoded = mbr.encode(sample_data)
+        for subset in itertools.combinations(range(8), 4):
+            blocks = [encoded.blocks[index] for index in subset]
+            assert mbr.reconstruct(encoded, blocks) == sample_data
+
+    def test_msr_every_k_subset(self, msr, sample_data):
+        encoded = msr.encode(sample_data)
+        for subset in itertools.combinations(range(8), 4):
+            blocks = [encoded.blocks[index] for index in subset]
+            assert msr.reconstruct(encoded, blocks) == sample_data
+
+    def test_too_few_blocks(self, mbr, msr, sample_data):
+        for scheme in (mbr, msr):
+            encoded = scheme.encode(sample_data)
+            with pytest.raises(ReconstructError):
+                scheme.reconstruct(encoded, list(encoded.blocks[:3]))
+
+    def test_duplicates_do_not_count(self, msr, sample_data):
+        encoded = msr.encode(sample_data)
+        with pytest.raises(ReconstructError):
+            msr.reconstruct(encoded, [encoded.blocks[0]] * 4)
+
+    def test_k2_edge_case(self, sample_data):
+        scheme = ProductMatrixMSR(n=5, k=2)
+        encoded = scheme.encode(sample_data)
+        for subset in itertools.combinations(range(5), 2):
+            blocks = [encoded.blocks[index] for index in subset]
+            assert scheme.reconstruct(encoded, blocks) == sample_data
+
+    def test_mbr_d_equals_k_edge_case(self, sample_data):
+        """d = k: the T block is empty, M = [[S]]."""
+        scheme = ProductMatrixMBR(n=6, k=3, d=3)
+        encoded = scheme.encode(sample_data)
+        for subset in itertools.combinations(range(6), 3):
+            blocks = [encoded.blocks[index] for index in subset]
+            assert scheme.reconstruct(encoded, blocks) == sample_data
+
+
+class TestExactRepair:
+    def test_mbr_repair_is_bit_identical(self, mbr, sample_data):
+        """Exact repair, the defining improvement over functional repair."""
+        encoded = mbr.encode(sample_data)
+        for lost in range(8):
+            available = encoded.block_map()
+            del available[lost]
+            outcome = mbr.repair(encoded, available, lost)
+            assert np.array_equal(outcome.block.content, encoded.blocks[lost].content)
+
+    def test_msr_repair_is_bit_identical(self, msr, sample_data):
+        encoded = msr.encode(sample_data)
+        for lost in range(8):
+            available = encoded.block_map()
+            del available[lost]
+            outcome = msr.repair(encoded, available, lost)
+            assert np.array_equal(outcome.block.content, encoded.blocks[lost].content)
+
+    def test_mbr_repair_traffic_equals_piece(self, mbr, sample_data):
+        """The MBR identity: d helpers x beta = alpha, so |repair_down|
+        equals exactly the regenerated piece size."""
+        encoded = mbr.encode(sample_data)
+        available = encoded.block_map()
+        del available[0]
+        outcome = mbr.repair(encoded, available, 0)
+        assert outcome.bytes_downloaded == outcome.block.payload_bytes
+
+    def test_msr_repair_traffic_ratio(self, msr, sample_data):
+        """MSR: |repair_down| / |piece| = d / (d - k + 1) = 2 at d=2k-2."""
+        encoded = msr.encode(sample_data)
+        available = encoded.block_map()
+        del available[0]
+        outcome = msr.repair(encoded, available, 0)
+        assert outcome.bytes_downloaded == 2 * outcome.block.payload_bytes
+
+    def test_repair_beats_whole_file_transfer(self, mbr, sample_data):
+        encoded = mbr.encode(sample_data)
+        available = encoded.block_map()
+        del available[2]
+        outcome = mbr.repair(encoded, available, 2)
+        assert outcome.bytes_downloaded < len(sample_data)
+
+    def test_no_coefficient_overhead(self, mbr, sample_data):
+        """Deterministic codes store no coefficients: storage is exactly
+        (k + h) x alpha symbols, nothing else."""
+        encoded = mbr.encode(sample_data)
+        stripes = encoded.meta["stripes"]
+        expected = 8 * mbr.d * stripes * mbr.field.element_size
+        assert encoded.storage_bytes() == expected
+
+    def test_repair_needs_d_helpers(self, mbr, sample_data):
+        encoded = mbr.encode(sample_data)
+        available = {index: encoded.blocks[index] for index in range(5)}
+        with pytest.raises(RepairError):
+            mbr.repair(encoded, available, 7)
+
+    def test_repair_invalid_slot(self, msr, sample_data):
+        encoded = msr.encode(sample_data)
+        with pytest.raises(RepairError):
+            msr.repair(encoded, encoded.block_map(), 99)
+
+    def test_chained_exact_repairs_never_degrade(self, msr, sample_data):
+        """Unlike functional repair there is no randomness to go wrong:
+        arbitrary loss/repair chains keep every block identical to the
+        original encoding."""
+        encoded = msr.encode(sample_data)
+        available = encoded.block_map()
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            lost = int(rng.integers(0, 8))
+            del available[lost]
+            outcome = msr.repair(encoded, available, lost)
+            available[lost] = outcome.block
+            assert np.array_equal(
+                outcome.block.content, encoded.blocks[lost].content
+            )
+
+
+class TestAgainstRandomLinear:
+    def test_mbr_point_matches_rc_accounting(self, sample_data):
+        """PM-MBR(8,4,7) and RC(4,4,7,3) sit on the same (storage,
+        repair) point of the paper's trade-off."""
+        pm = ProductMatrixMBR(n=8, k=4, d=7)
+        params = RCParams(4, 4, 7, 3)
+        file_size = params.aligned_file_size(len(sample_data))
+        # Same fragment counts...
+        assert pm.message_size == params.n_file
+        assert pm.piece_symbols == params.n_piece
+        # ...therefore the same payload sizes for an aligned file.
+        encoded = pm.encode(sample_data)
+        stripes = encoded.meta["stripes"]
+        pm_piece = pm.piece_symbols * stripes * pm.field.element_size
+        rc_piece = float(params.piece_size(pm.message_size * stripes * 2))
+        assert pm_piece == pytest.approx(rc_piece)
+
+
+class TestPropertyBased:
+    @given(st.binary(min_size=0, max_size=400), st.integers(0, 5))
+    @settings(max_examples=25, deadline=None)
+    def test_mbr_roundtrip_random_data(self, data, lost):
+        scheme = ProductMatrixMBR(n=6, k=3, d=4)
+        encoded = scheme.encode(data)
+        available = encoded.block_map()
+        del available[lost]
+        outcome = scheme.repair(encoded, available, lost)
+        available[lost] = outcome.block
+        subset = [available[index] for index in sorted(available)[:3]]
+        assert scheme.reconstruct(encoded, subset) == data
+
+    @given(st.binary(min_size=0, max_size=400), st.integers(0, 2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_msr_roundtrip_random_subsets(self, data, seed):
+        scheme = ProductMatrixMSR(n=7, k=3)
+        encoded = scheme.encode(data)
+        rng = np.random.default_rng(seed)
+        subset = rng.choice(7, size=3, replace=False)
+        blocks = [encoded.blocks[int(index)] for index in subset]
+        assert scheme.reconstruct(encoded, blocks) == data

@@ -1,0 +1,107 @@
+"""Tests for the RegeneratingCodeScheme adapter."""
+
+import numpy as np
+import pytest
+
+from repro.codes import RandomLinearErasureScheme, RegeneratingCodeScheme
+from repro.codes.base import ReconstructError, RepairError
+from repro.core.params import RCParams
+
+
+@pytest.fixture()
+def scheme():
+    return RegeneratingCodeScheme(RCParams(4, 4, 6, 2), rng=np.random.default_rng(9))
+
+
+class TestAdapter:
+    def test_exposes_rc_structure(self, scheme):
+        assert scheme.total_blocks == 8
+        assert scheme.reconstruction_degree == 4
+        assert scheme.repair_degree == 6
+
+    def test_payload_includes_coefficients(self, scheme, sample_data):
+        encoded = scheme.encode(sample_data)
+        piece = encoded.blocks[0].content
+        expected = piece.storage_bytes(scheme.field)
+        assert encoded.blocks[0].payload_bytes == expected
+        assert expected > piece.data_bytes(scheme.field)
+
+    def test_meta_carries_geometry(self, scheme, sample_data):
+        encoded = scheme.encode(sample_data)
+        assert encoded.meta["n_file"] == scheme.params.n_file
+        assert encoded.meta["padded_size"] % (scheme.params.n_file * 2) == 0
+
+
+class TestRepairSemantics:
+    def test_repair_contacts_exactly_d(self, scheme, sample_data):
+        encoded = scheme.encode(sample_data)
+        available = encoded.block_map()
+        del available[7]
+        outcome = scheme.repair(encoded, available, 7)
+        assert outcome.repair_degree == 6
+
+    def test_repair_traffic_below_erasure(self, sample_data):
+        """The headline: RC repair moves (much) less than k pieces."""
+        rc = RegeneratingCodeScheme(RCParams(4, 4, 6, 2), rng=np.random.default_rng(1))
+        ec = RandomLinearErasureScheme(4, 4, rng=np.random.default_rng(2))
+        rc_encoded = rc.encode(sample_data)
+        ec_encoded = ec.encode(sample_data)
+        rc_available = rc_encoded.block_map()
+        ec_available = ec_encoded.block_map()
+        del rc_available[0]
+        del ec_available[0]
+        rc_outcome = rc.repair(rc_encoded, rc_available, 0)
+        ec_outcome = ec.repair(ec_encoded, ec_available, 0)
+        assert rc_outcome.bytes_downloaded < ec_outcome.bytes_downloaded
+
+    def test_repair_needs_d_survivors(self, scheme, sample_data):
+        encoded = scheme.encode(sample_data)
+        available = {index: encoded.blocks[index] for index in range(5)}
+        with pytest.raises(RepairError):
+            scheme.repair(encoded, available, 7)
+
+    def test_invalid_slot(self, scheme, sample_data):
+        encoded = scheme.encode(sample_data)
+        with pytest.raises(RepairError):
+            scheme.repair(encoded, encoded.block_map(), -1)
+
+    def test_reconstruct_insufficient_raises_scheme_error(self, scheme, sample_data):
+        encoded = scheme.encode(sample_data)
+        with pytest.raises(ReconstructError):
+            scheme.reconstruct(encoded, list(encoded.blocks[:2]))
+
+    def test_mbr_variant_verbatim(self, sample_data):
+        scheme = RegeneratingCodeScheme(
+            RCParams(4, 4, 7, 3), rng=np.random.default_rng(4)
+        )
+        assert scheme.params.newcomer_stores_verbatim
+        encoded = scheme.encode(sample_data)
+        available = encoded.block_map()
+        del available[0]
+        outcome = scheme.repair(encoded, available, 0)
+        available[0] = outcome.block
+        assert scheme.reconstruct(
+            encoded, [available[index] for index in (0, 2, 4, 6)]
+        ) == sample_data
+
+
+class TestOpsAccounting:
+    def test_repair_ops_cover_both_sides(self):
+        scheme = RegeneratingCodeScheme(RCParams(4, 4, 6, 2))
+        from repro.core.costs import CostModel
+
+        model = CostModel(scheme.params, 1 << 16, include_coefficients=True)
+        expected = 6 * float(model.participant_repair_ops()) + float(
+            model.newcomer_repair_ops()
+        )
+        assert scheme.repair_computation_ops(1 << 16) == expected
+
+    def test_reconstruct_ops_use_inversion_lower_bound(self):
+        scheme = RegeneratingCodeScheme(RCParams(4, 4, 6, 2))
+        from repro.core.costs import CostModel
+
+        model = CostModel(scheme.params, 1 << 16)
+        lower, _ = model.inversion_ops_bounds()
+        assert scheme.reconstruct_computation_ops(1 << 16) == float(lower) + float(
+            model.decoding_ops()
+        )

@@ -1,0 +1,74 @@
+"""Tests specific to the replication baseline."""
+
+import pytest
+
+from repro.codes import ReplicationScheme
+from repro.codes.base import ReconstructError, RepairError
+
+
+class TestReplication:
+    def test_invalid_replica_count(self):
+        with pytest.raises(ValueError):
+            ReplicationScheme(0)
+
+    def test_every_block_is_a_full_copy(self, sample_data):
+        scheme = ReplicationScheme(4)
+        encoded = scheme.encode(sample_data)
+        for block in encoded.blocks:
+            assert bytes(block.content) == sample_data
+            assert block.payload_bytes == len(sample_data)
+
+    def test_storage_is_n_times_file(self, sample_data):
+        scheme = ReplicationScheme(5)
+        encoded = scheme.encode(sample_data)
+        assert encoded.storage_bytes() == 5 * len(sample_data)
+
+    def test_reconstruct_from_single_replica(self, sample_data):
+        scheme = ReplicationScheme(3)
+        encoded = scheme.encode(sample_data)
+        assert scheme.reconstruct(encoded, [encoded.blocks[2]]) == sample_data
+
+    def test_reconstruct_from_nothing_raises(self, sample_data):
+        scheme = ReplicationScheme(3)
+        encoded = scheme.encode(sample_data)
+        with pytest.raises(ReconstructError):
+            scheme.reconstruct(encoded, [])
+
+    def test_repair_reads_exactly_one_replica(self, sample_data):
+        """The paper's point of comparison: repair cost = one replica."""
+        scheme = ReplicationScheme(3)
+        encoded = scheme.encode(sample_data)
+        available = encoded.block_map()
+        del available[1]
+        outcome = scheme.repair(encoded, available, 1)
+        assert outcome.repair_degree == 1
+        assert outcome.bytes_downloaded == len(sample_data)
+
+    def test_repair_last_survivor(self, sample_data):
+        scheme = ReplicationScheme(3)
+        encoded = scheme.encode(sample_data)
+        available = {0: encoded.blocks[0]}
+        outcome = scheme.repair(encoded, available, 2)
+        assert outcome.participants == (0,)
+        assert bytes(outcome.block.content) == sample_data
+
+    def test_repair_with_no_other_replica_raises(self, sample_data):
+        scheme = ReplicationScheme(2)
+        encoded = scheme.encode(sample_data)
+        with pytest.raises(RepairError):
+            scheme.repair(encoded, {1: encoded.blocks[1]}, 1)
+
+    def test_repair_bad_slot_raises(self, sample_data):
+        scheme = ReplicationScheme(2)
+        encoded = scheme.encode(sample_data)
+        with pytest.raises(RepairError):
+            scheme.repair(encoded, encoded.block_map(), 7)
+
+    def test_reconstruction_degree_is_one(self):
+        assert ReplicationScheme(3).reconstruction_degree == 1
+        assert ReplicationScheme(3).tolerable_failures == 2
+
+    def test_empty_file(self):
+        scheme = ReplicationScheme(2)
+        encoded = scheme.encode(b"")
+        assert scheme.reconstruct(encoded, [encoded.blocks[0]]) == b""

@@ -1,0 +1,50 @@
+"""Shared fixtures for the test suite.
+
+Small parameter sets keep unit tests fast; the integration and
+paper-claims tests scale up where the assertion needs it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gf.field import GF
+
+
+@pytest.fixture(scope="session")
+def gf16():
+    """GF(2^4): small enough for exhaustive checks."""
+    return GF(4)
+
+
+@pytest.fixture(scope="session")
+def gf256():
+    """GF(2^8): the classic byte field."""
+    return GF(8)
+
+
+@pytest.fixture(scope="session")
+def gf65536():
+    """GF(2^16): the paper's field."""
+    return GF(16)
+
+
+@pytest.fixture(
+    scope="session", params=[4, 8, 16], ids=["GF(2^4)", "GF(2^8)", "GF(2^16)"]
+)
+def any_field(request):
+    """Parametrize a test over the three supported field sizes."""
+    return GF(request.param)
+
+
+@pytest.fixture()
+def rng():
+    """Fresh deterministic generator per test."""
+    return np.random.default_rng(0xC0DE)
+
+
+@pytest.fixture()
+def sample_data(rng):
+    """A few KB of incompressible bytes."""
+    return bytes(rng.integers(0, 256, size=4096, dtype=np.uint8))

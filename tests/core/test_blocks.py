@@ -1,0 +1,155 @@
+"""Tests for the coded-data model (fragments, pieces, encoded files)."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.blocks import EncodedFile, Fragment, Piece
+from repro.gf.field import GF
+
+
+@pytest.fixture()
+def field():
+    return GF(16)
+
+
+def make_fragment(field, length=8, n_file=4, seed=0):
+    rng = np.random.default_rng(seed)
+    return Fragment(data=field.random(length, rng), coefficients=field.random(n_file, rng))
+
+
+def make_piece(field, index=0, n_piece=3, length=8, n_file=4, seed=0):
+    rng = np.random.default_rng(seed)
+    return Piece(
+        index=index,
+        data=field.random((n_piece, length), rng),
+        coefficients=field.random((n_piece, n_file), rng),
+    )
+
+
+class TestFragment:
+    def test_shapes_validated(self, field):
+        with pytest.raises(ValueError):
+            Fragment(data=field.zeros((2, 2)), coefficients=field.zeros(4))
+        with pytest.raises(ValueError):
+            Fragment(data=field.zeros(4), coefficients=field.zeros((2, 2)))
+
+    def test_sizes(self, field):
+        fragment = make_fragment(field, length=8, n_file=4)
+        assert fragment.length == 8
+        assert fragment.n_file == 4
+        assert fragment.data_bytes(field) == 16  # 8 elements x 2 bytes
+        assert fragment.coefficient_bytes(field) == 8
+        assert fragment.wire_bytes(field) == 24
+
+    def test_wire_bytes_smaller_field(self):
+        field = GF(8)
+        fragment = Fragment(data=field.zeros(8), coefficients=field.zeros(4))
+        assert fragment.wire_bytes(field) == 12  # 1-byte elements
+
+    def test_frozen(self, field):
+        fragment = make_fragment(field)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            fragment.data = field.zeros(1)
+
+
+class TestPiece:
+    def test_shapes_validated(self, field):
+        with pytest.raises(ValueError):
+            Piece(index=0, data=field.zeros(4), coefficients=field.zeros((1, 4)))
+        with pytest.raises(ValueError):
+            Piece(index=0, data=field.zeros((2, 4)), coefficients=field.zeros((3, 4)))
+
+    def test_dimensions(self, field):
+        piece = make_piece(field, n_piece=3, length=8, n_file=4)
+        assert piece.n_piece == 3
+        assert piece.n_file == 4
+        assert piece.fragment_length == 8
+
+    def test_fragments_view(self, field):
+        piece = make_piece(field, n_piece=3)
+        fragments = piece.fragments()
+        assert len(fragments) == 3
+        for row, fragment in enumerate(fragments):
+            assert np.all(fragment.data == piece.data[row])
+            assert np.all(fragment.coefficients == piece.coefficients[row])
+
+    def test_storage_accounting(self, field):
+        piece = make_piece(field, n_piece=3, length=8, n_file=4)
+        assert piece.data_bytes(field) == 3 * 8 * 2
+        assert piece.coefficient_bytes(field) == 3 * 4 * 2
+        assert piece.storage_bytes(field) == piece.data_bytes(field) + piece.coefficient_bytes(
+            field
+        )
+
+    def test_from_fragments_roundtrip(self, field):
+        piece = make_piece(field, n_piece=3)
+        rebuilt = Piece.from_fragments(9, piece.fragments())
+        assert rebuilt.index == 9
+        assert np.all(rebuilt.data == piece.data)
+        assert np.all(rebuilt.coefficients == piece.coefficients)
+
+    def test_from_fragments_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Piece.from_fragments(0, [])
+
+
+class TestEncodedFile:
+    def _encoded(self, field, pieces=None):
+        pieces = pieces if pieces is not None else tuple(
+            make_piece(field, index=index, seed=index) for index in range(4)
+        )
+        return EncodedFile(
+            pieces=tuple(pieces),
+            file_size=50,
+            padded_size=64,
+            n_file=4,
+            fragment_length=8,
+        )
+
+    def test_len(self, field):
+        assert len(self._encoded(field)) == 4
+
+    def test_file_size_exceeding_padding_rejected(self, field):
+        with pytest.raises(ValueError):
+            EncodedFile(
+                pieces=(make_piece(field),),
+                file_size=100,
+                padded_size=64,
+                n_file=4,
+                fragment_length=8,
+            )
+
+    def test_inconsistent_piece_rejected(self, field):
+        bad = make_piece(field, n_file=5)
+        with pytest.raises(ValueError):
+            self._encoded(field, pieces=(bad,))
+
+    def test_inconsistent_fragment_length_rejected(self, field):
+        bad = make_piece(field, length=9)
+        with pytest.raises(ValueError):
+            self._encoded(field, pieces=(bad,))
+
+    def test_subset(self, field):
+        encoded = self._encoded(field)
+        subset = encoded.subset([2, 0])
+        assert [piece.index for piece in subset] == [2, 0]
+
+    def test_replace_piece_is_functional(self, field):
+        encoded = self._encoded(field)
+        replacement = make_piece(field, index=1, seed=99)
+        updated = encoded.replace_piece(1, replacement)
+        assert updated is not encoded
+        assert updated.pieces[1] is replacement
+        assert encoded.pieces[1] is not replacement
+
+    def test_storage_bytes_sums_pieces(self, field):
+        encoded = self._encoded(field)
+        assert encoded.storage_bytes(field) == sum(
+            piece.storage_bytes(field) for piece in encoded.pieces
+        )
+        assert encoded.payload_bytes(field) == sum(
+            piece.data_bytes(field) for piece in encoded.pieces
+        )
+        assert encoded.payload_bytes(field) < encoded.storage_bytes(field)

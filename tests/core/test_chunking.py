@@ -1,0 +1,124 @@
+"""Tests for chunked encoding and the minimum-object-size guidance."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.chunking import ChunkedCodec, minimum_object_size
+from repro.core.costs import coefficient_overhead
+from repro.core.params import RCParams
+from repro.core.regenerating import RandomLinearRegeneratingCode
+
+
+def make_codec(chunk_size=2048, seed=0, **params):
+    settings_ = dict(k=4, h=4, d=5, i=1)
+    settings_.update(params)
+    code = RandomLinearRegeneratingCode(
+        RCParams(**settings_), rng=np.random.default_rng(seed)
+    )
+    return ChunkedCodec(code, chunk_size=chunk_size)
+
+
+@pytest.fixture()
+def big_data(rng):
+    return bytes(rng.integers(0, 256, size=10_000, dtype=np.uint8))
+
+
+class TestMinimumObjectSize:
+    def test_inverts_r_coeff(self):
+        """At the returned size the overhead is exactly the target."""
+        params = RCParams.paper_default(40, 1)
+        size = minimum_object_size(params, max_coefficient_overhead=0.01)
+        assert float(coefficient_overhead(params, size)) <= 0.01
+        assert float(coefficient_overhead(params, size - 1024)) > 0.01
+
+    def test_paper_worst_configuration(self):
+        """RC(32,32,63,31) has r_coeff = 4.4 at 1 MB (figure 3), so 1%
+        overhead needs ~440x that: hundreds of megabytes per object --
+        the quantitative version of the paper's warning."""
+        params = RCParams.paper_default(63, 31)
+        size = minimum_object_size(params, 0.01)
+        assert 400 << 20 < size < 500 << 20
+
+    def test_erasure_needs_little(self):
+        size = minimum_object_size(RCParams.erasure(32, 32), 0.01)
+        assert size < 1 << 20
+
+    def test_tighter_target_needs_bigger_objects(self):
+        params = RCParams.paper_default(40, 1)
+        assert minimum_object_size(params, 0.001) > minimum_object_size(params, 0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            minimum_object_size(RCParams.erasure(4, 4), 0)
+
+
+class TestChunkedCodec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_codec(chunk_size=0)
+
+    def test_chunk_count(self, big_data):
+        codec = make_codec(chunk_size=2048)
+        chunked = codec.insert(big_data)
+        assert chunked.chunk_count == 5  # 10000 / 2048 -> 4 full + 1 short
+        assert chunked.file_size == len(big_data)
+
+    def test_empty_file_single_chunk(self):
+        codec = make_codec()
+        chunked = codec.insert(b"")
+        assert chunked.chunk_count == 1
+        assert codec.reconstruct(chunked, [0, 2, 4, 6]) == b""
+
+    def test_roundtrip(self, big_data):
+        codec = make_codec()
+        chunked = codec.insert(big_data)
+        assert codec.reconstruct(chunked, [0, 2, 5, 7]) == big_data
+
+    def test_different_slots_per_call(self, big_data):
+        codec = make_codec()
+        chunked = codec.insert(big_data)
+        assert codec.reconstruct(chunked, [7, 6, 5, 4]) == big_data
+
+    def test_pieces_for_peer(self, big_data):
+        codec = make_codec(chunk_size=4096)
+        chunked = codec.insert(big_data)
+        pieces = chunked.pieces_for_peer(3)
+        assert len(pieces) == chunked.chunk_count
+        assert all(piece.index == 3 for piece in pieces)
+
+    def test_repair_slot_heals_every_chunk(self, big_data):
+        codec = make_codec(seed=5)
+        chunked = codec.insert(big_data)
+        healed, traffic = codec.repair_slot(chunked, [0, 1, 2, 3, 4], lost_slot=7)
+        assert traffic > 0
+        # Reconstruct using the healed slot in every chunk.
+        assert codec.reconstruct(healed, [7, 1, 3, 5]) == big_data
+
+    def test_repair_traffic_scales_with_chunks(self, big_data):
+        few = make_codec(chunk_size=10_000, seed=6)
+        many = make_codec(chunk_size=1_000, seed=6)
+        _, traffic_few = few.repair_slot(few.insert(big_data), [0, 1, 2, 3, 4], 7)
+        _, traffic_many = many.repair_slot(many.insert(big_data), [0, 1, 2, 3, 4], 7)
+        # Same total payload, but per-chunk coefficient overhead makes
+        # many small chunks strictly more expensive (section 4.1).
+        assert traffic_many > traffic_few
+
+    def test_overhead_report_matches_costs(self):
+        codec = make_codec(chunk_size=4096)
+        expected = float(coefficient_overhead(codec.params, 4096, 16))
+        assert codec.coefficient_overhead_per_chunk() == pytest.approx(expected)
+
+
+class TestPropertyBased:
+    @given(
+        st.binary(min_size=0, max_size=5000),
+        st.integers(200, 3000),
+        st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_chunked_roundtrip(self, data, chunk_size, seed):
+        codec = make_codec(chunk_size=chunk_size, seed=seed)
+        chunked = codec.insert(data)
+        assert codec.reconstruct(chunked, [1, 3, 4, 6]) == data

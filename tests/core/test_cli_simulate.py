@@ -1,0 +1,75 @@
+"""Tests for the `repro simulate` CLI subcommand."""
+
+import pytest
+
+from repro.cli import main
+
+
+def run(capsys, *extra):
+    code = main([
+        "simulate", "--peers", "30", "--horizon", "200", "--files", "2",
+        "--file-size", "4096", "--seed", "5", *extra,
+    ])
+    return code, capsys.readouterr().out
+
+
+class TestSimulate:
+    def test_default_rc_run(self, capsys):
+        code, out = run(capsys, "--scheme", "rc", "-k", "4", "-H", "4", "-d", "5", "-i", "1")
+        assert code == 0
+        assert "files_restored_ok" in out
+        assert "2/2" in out
+        assert "repairs_completed" in out
+
+    @pytest.mark.parametrize(
+        "scheme,extra",
+        [
+            ("replication", []),
+            ("erasure", ["-k", "4", "-H", "4"]),
+            ("reed-solomon", ["-k", "4", "-H", "4"]),
+            ("hybrid", ["-k", "4", "-H", "4"]),
+            ("pm-mbr", ["-k", "4", "-H", "4", "-d", "6"]),
+            ("pm-msr", ["-k", "4", "-H", "4"]),
+        ],
+    )
+    def test_every_scheme_runs(self, capsys, scheme, extra):
+        code, out = run(capsys, "--scheme", scheme, *extra)
+        assert code == 0
+        assert "2/2" in out
+
+    def test_lazy_policy(self, capsys):
+        code, out = run(
+            capsys,
+            "--scheme", "rc", "-k", "4", "-H", "4", "-d", "5", "-i", "1",
+            "--lazy-threshold", "5",
+        )
+        assert code == 0
+        assert "LazyMaintenance" in out
+
+    def test_transient_churn_flag(self, capsys):
+        code, out = run(
+            capsys,
+            "--scheme", "rc", "-k", "4", "-H", "4", "-d", "5", "-i", "1",
+            "--mean-online", "40", "--mean-offline", "8",
+        )
+        assert code == 0
+        # The summary must show disconnects actually happened.
+        line = next(l for l in out.splitlines() if "transient_disconnects" in l)
+        assert int(line.split()[-1].replace(",", "")) > 0
+
+    def test_save_and_replay_trace(self, capsys, tmp_path):
+        trace_path = tmp_path / "churn.json"
+        code, _ = run(
+            capsys,
+            "--scheme", "replication",
+            "--save-trace", str(trace_path),
+        )
+        assert code == 0
+        assert trace_path.exists()
+        code, out = run(
+            capsys,
+            "--scheme", "rc", "-k", "4", "-H", "4", "-d", "5", "-i", "1",
+            "--trace", str(trace_path),
+        )
+        assert code == 0
+        assert "2/2" in out

@@ -1,0 +1,239 @@
+"""Tests for the analytic cost model (section 4: eqs. E5-E8, r_coeff)."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.costs import CostModel, coefficient_overhead
+from repro.core.params import RCParams
+
+MB = 1 << 20
+
+
+class TestCoefficientOverhead:
+    def test_formula(self):
+        """r_coeff = n_file^2 * q / (8 * |file| bytes)."""
+        params = RCParams.paper_default(40, 1)  # n_file = 319
+        assert coefficient_overhead(params, MB, 16) == Fraction(319**2 * 16, MB * 8)
+
+    def test_paper_worst_case_over_4_bits(self):
+        """Section 4.1: 'for 1 bit of data, more than 4 bits of
+        coefficients are needed' at the most expensive configuration."""
+        worst = max(
+            float(coefficient_overhead(params, MB, 16))
+            for params in RCParams.grid(32, 32)
+        )
+        assert 4.0 < worst < 5.0
+
+    def test_worst_case_is_maximal_d_and_i(self):
+        values = {
+            (params.d, params.i): float(coefficient_overhead(params, MB, 16))
+            for params in RCParams.grid(32, 32)
+        }
+        assert max(values, key=values.get) == (63, 31)
+
+    def test_erasure_overhead_tiny(self):
+        params = RCParams.erasure(32, 32)
+        assert float(coefficient_overhead(params, MB, 16)) == pytest.approx(
+            32**2 * 2 / MB
+        )
+
+    def test_inverse_proportional_to_file_size(self):
+        """Section 4.1: 'the bigger the file the smaller the overhead'."""
+        params = RCParams.paper_default(63, 31)
+        assert coefficient_overhead(params, 2 * MB, 16) == coefficient_overhead(
+            params, MB, 16
+        ) / 2
+
+    def test_invalid_file_size(self):
+        with pytest.raises(ValueError):
+            coefficient_overhead(RCParams.erasure(4, 4), 0)
+
+
+class TestCostModelValidation:
+    def test_bad_file_size(self):
+        with pytest.raises(ValueError):
+            CostModel(RCParams.erasure(4, 4), 0)
+
+    def test_bad_q(self):
+        with pytest.raises(ValueError):
+            CostModel(RCParams.erasure(4, 4), MB, q=4)
+
+    def test_element_geometry(self):
+        model = CostModel(RCParams.erasure(32, 32), MB, q=16)
+        assert model.file_elements == MB // 2
+        assert model.fragment_elements == MB // 2 // 32
+
+
+class TestOperationCounts:
+    def test_encoding_e5(self):
+        """E5: CPU(encoding) = (5/2)(k+h) n_piece |file| for q = 16.
+
+        (|file| here in elements-times-... the closed form with |file| in
+        bytes divided by element size.)
+        """
+        params = RCParams.paper_default(40, 1)
+        model = CostModel(params, MB, q=16)
+        # Closed form with |file| in bytes (q = 16: 2 bytes/element).
+        expected = Fraction(5, 2) * 64 * params.n_piece * MB
+        # Equivalent direct form: 5 (k+h) n_file n_piece l_frag.
+        direct = 5 * 64 * params.n_file * params.n_piece * model.fragment_elements
+        assert model.encoding_ops() == direct
+        assert model.encoding_ops() == expected
+
+    def test_participant_e6_proportional_to_piece(self):
+        """E6: CPU(repair_up) = (5/2) |piece| in bytes for q = 16."""
+        params = RCParams.paper_default(40, 1)
+        model = CostModel(params, MB, q=16)
+        piece_bytes = params.piece_size(MB)
+        assert model.participant_repair_ops() == Fraction(5, 2) * piece_bytes
+
+    def test_participant_zero_for_erasure(self):
+        model = CostModel(RCParams.erasure(32, 32), MB)
+        assert model.participant_repair_ops() == 0
+
+    def test_newcomer_e7_is_d_times_participant(self):
+        params = RCParams.paper_default(40, 1)
+        model = CostModel(params, MB)
+        assert model.newcomer_repair_ops() == params.d * model.participant_repair_ops()
+
+    def test_newcomer_zero_for_mbr(self):
+        """Figure 4(c): the overhead falls to zero at i = k - 1."""
+        model = CostModel(RCParams.paper_default(63, 31), MB)
+        assert model.newcomer_repair_ops() == 0
+
+    def test_newcomer_nonzero_for_erasure(self):
+        """The erasure newcomer still combines k received pieces."""
+        model = CostModel(RCParams.erasure(32, 32), MB)
+        assert model.newcomer_repair_ops() > 0
+
+    def test_inversion_bounds_e8(self):
+        params = RCParams.paper_default(40, 1)
+        model = CostModel(params, MB)
+        lower, upper = model.inversion_ops_bounds()
+        assert lower == 5 * params.n_file**3
+        assert upper == 5 * params.k * params.n_piece * params.n_file**2
+        assert lower <= upper
+
+    def test_decoding_formula(self):
+        params = RCParams.paper_default(40, 1)
+        model = CostModel(params, MB)
+        assert model.decoding_ops() == 5 * params.n_file**2 * model.fragment_elements
+
+    def test_costs_linear_in_file_size_except_inversion(self):
+        """Section 4.2 closing note."""
+        params = RCParams.paper_default(40, 1)
+        small = CostModel(params, MB)
+        large = CostModel(params, 2 * MB)
+        assert large.encoding_ops() == 2 * small.encoding_ops()
+        assert large.participant_repair_ops() == 2 * small.participant_repair_ops()
+        assert large.newcomer_repair_ops() == 2 * small.newcomer_repair_ops()
+        assert large.decoding_ops() == 2 * small.decoding_ops()
+        assert large.inversion_ops_bounds() == small.inversion_ops_bounds()
+
+    def test_include_coefficients_increases_costs(self):
+        """Section 4.2 maintenance note: coefficients virtually increase
+        the fragment size."""
+        params = RCParams.paper_default(40, 1)
+        plain = CostModel(params, MB, include_coefficients=False)
+        loaded = CostModel(params, MB, include_coefficients=True)
+        assert loaded.encoding_ops() > plain.encoding_ops()
+        assert (
+            loaded.effective_fragment_elements
+            == plain.fragment_elements + params.n_file
+        )
+
+    def test_operation_costs_bundle(self):
+        model = CostModel(RCParams.paper_default(40, 1), MB)
+        costs = model.operation_costs()
+        assert costs.encoding_ops == int(model.encoding_ops())
+        assert costs.reconstruction_ops_lower == costs.inversion_ops_lower + costs.decoding_ops
+        assert costs.reconstruction_ops_upper >= costs.reconstruction_ops_lower
+
+
+class TestOverheadShapes:
+    """The figure-4 growth shapes, asserted on the analytic model."""
+
+    def test_encoding_overhead_linear_in_npiece(self):
+        """Fig 4(a): overhead = n_piece (encoding scales with n_piece)."""
+        base = CostModel(RCParams.erasure(32, 32), MB).encoding_ops()
+        for d, i in [(40, 1), (63, 30), (32, 30)]:
+            params = RCParams.paper_default(d, i)
+            ratio = CostModel(params, MB).encoding_ops() / base
+            assert ratio == params.n_piece
+
+    def test_encoding_overhead_maximum(self):
+        """Fig 4(a) tops out around 60-70x at (63, 31)."""
+        base = CostModel(RCParams.erasure(32, 32), MB).encoding_ops()
+        worst = CostModel(RCParams.paper_default(63, 31), MB).encoding_ops()
+        assert 60 <= worst / base <= 70
+
+    def test_newcomer_overhead_roughly_quadratic_in_d(self):
+        """Fig 4(c): cost proportional to d * n_piece ~ d^2 at i = 0."""
+        values = [
+            float(CostModel(RCParams.paper_default(d, 0), MB).newcomer_repair_ops())
+            for d in (40, 48, 63)
+        ]
+        params = [RCParams.paper_default(d, 0) for d in (40, 48, 63)]
+        for value, param in zip(values, params):
+            piece = float(param.piece_size(MB))
+            assert value == pytest.approx(2.5 * param.d * piece)
+
+    def test_inversion_overhead_order_of_magnitude(self):
+        """Fig 4(d): up to ~10^4-10^5 at large (d, i)."""
+        base, _ = CostModel(RCParams.erasure(32, 32), MB).inversion_ops_bounds()
+        worst, _ = CostModel(RCParams.paper_default(63, 31), MB).inversion_ops_bounds()
+        assert 1e4 <= float(worst) / float(base) <= 2e5
+
+    def test_decoding_resembles_encoding(self):
+        """Fig 4(e) 'closely resembles' fig 4(a): both max ~60x."""
+        base = CostModel(RCParams.erasure(32, 32), MB).decoding_ops()
+        worst = CostModel(RCParams.paper_default(63, 31), MB).decoding_ops()
+        assert 40 <= worst / base <= 70
+
+
+class TestPredictedTimes:
+    def test_scaling_with_ops_rate(self):
+        model = CostModel(RCParams.paper_default(40, 1), MB)
+        slow = model.predicted_times(1e6)
+        fast = model.predicted_times(2e6)
+        for name in slow:
+            assert slow[name] == pytest.approx(2 * fast[name])
+
+    def test_all_operations_present(self):
+        times = CostModel(RCParams.erasure(4, 4), 4096).predicted_times(1e6)
+        assert set(times) == {
+            "encoding",
+            "participant_repair",
+            "newcomer_repair",
+            "inversion",
+            "decoding",
+        }
+
+
+class TestPropertyBased:
+    @given(
+        st.integers(2, 16),
+        st.integers(1, 16),
+        st.integers(0, 40),
+        st.integers(0, 40),
+        st.integers(1, 1 << 22),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_counts_are_positive_and_ordered(self, k, h, d_off, i_raw, file_size):
+        params = RCParams(k=k, h=h, d=k + d_off % h, i=i_raw % k)
+        model = CostModel(params, file_size)
+        assert model.encoding_ops() > 0
+        assert model.decoding_ops() > 0
+        assert model.participant_repair_ops() >= 0
+        assert model.newcomer_repair_ops() >= 0
+        lower, upper = model.inversion_ops_bounds()
+        assert 0 < lower <= upper
+        if params.newcomer_stores_verbatim:
+            assert model.newcomer_repair_ops() == 0
+        elif not params.is_erasure:
+            # E7: newcomer = d x participant (the erasure participant is
+            # free, so the relation does not apply there).
+            assert model.newcomer_repair_ops() == params.d * model.participant_repair_ops()

@@ -1,0 +1,263 @@
+"""Tests for the RC(k, h, d, i) parameter space (eqs. E1-E4)."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.params import RCParams
+
+
+def valid_params():
+    """Hypothesis strategy over valid RC(k, h, d, i) tuples."""
+    return st.integers(1, 24).flatmap(
+        lambda k: st.integers(1, 24).flatmap(
+            lambda h: st.tuples(
+                st.just(k),
+                st.just(h),
+                st.integers(k, k + h - 1),
+                st.integers(0, k - 1),
+            )
+        )
+    )
+
+
+class TestValidation:
+    def test_paper_default(self):
+        params = RCParams.paper_default(40, 1)
+        assert (params.k, params.h, params.d, params.i) == (32, 32, 40, 1)
+
+    @pytest.mark.parametrize(
+        "k,h,d,i",
+        [
+            (0, 4, 4, 0),  # k < 1
+            (4, 0, 4, 0),  # h < 1
+            (4, 4, 3, 0),  # d < k
+            (4, 4, 8, 0),  # d > k + h - 1
+            (4, 4, 4, -1),  # i < 0
+            (4, 4, 4, 4),  # i > k - 1
+        ],
+    )
+    def test_invalid_rejected(self, k, h, d, i):
+        with pytest.raises(ValueError):
+            RCParams(k=k, h=h, d=d, i=i)
+
+    def test_frozen(self):
+        params = RCParams(4, 4, 5, 1)
+        with pytest.raises(AttributeError):
+            params.k = 5
+
+    def test_str(self):
+        assert str(RCParams(32, 32, 40, 1)) == "RC(32,32,40,1)"
+
+
+class TestNamedConfigurations:
+    def test_erasure_is_degenerate_rc(self):
+        params = RCParams.erasure(32, 32)
+        assert params.d == 32 and params.i == 0
+        assert params.is_erasure and params.is_msr
+
+    def test_msr_default_maximal_d(self):
+        params = RCParams.msr(32, 32)
+        assert params.d == 63 and params.i == 0 and params.is_msr
+
+    def test_mbr(self):
+        params = RCParams.mbr(32, 32)
+        assert params.d == 63 and params.i == 31 and params.is_mbr
+
+    def test_grid_size_is_k_times_h(self):
+        """Section 2.2: k*h different (d, |piece|) values."""
+        assert sum(1 for _ in RCParams.grid(5, 3)) == 15
+
+    def test_grid_all_valid(self):
+        for params in RCParams.grid(6, 4):
+            assert 6 <= params.d <= 9
+            assert 0 <= params.i <= 5
+
+
+class TestPaperEquations:
+    """Cross-checks against the closed forms of section 2.2."""
+
+    def test_erasure_constraints_e1(self):
+        """E1: d = k and |piece| = |file| / k."""
+        params = RCParams.erasure(32, 32)
+        assert params.piece_fraction == Fraction(1, 32)
+        assert params.repair_fraction == Fraction(1, 32)
+        assert params.n_file == 32
+        assert params.n_piece == 1
+
+    def test_piece_over_repair_ratio(self):
+        """Section 3.2: |piece| / |repair_up| = d - k + i + 1 exactly."""
+        for params in RCParams.grid(8, 4):
+            ratio = params.piece_fraction / params.repair_fraction
+            assert ratio == params.d - params.k + params.i + 1
+            assert ratio == params.n_piece
+
+    def test_file_over_repair_is_n_file(self):
+        """Section 3.2: |file| / |repair_up| = n_file, an integer."""
+        for params in RCParams.grid(8, 4):
+            assert 1 / params.repair_fraction == params.n_file
+
+    def test_msr_piece_size_is_minimal(self):
+        """i = 0 keeps |piece| = |file| / k for every d (MSR property)."""
+        for d in range(32, 64):
+            params = RCParams(32, 32, d, 0)
+            assert params.piece_fraction == Fraction(1, 32)
+
+    def test_mbr_minimizes_repair(self):
+        """At d = k + h - 1, repair traffic decreases with i."""
+        reductions = [
+            RCParams(32, 32, 63, i).repair_reduction for i in range(32)
+        ]
+        assert all(a > b for a, b in zip(reductions, reductions[1:]))
+
+    def test_repair_download_at_least_piece(self):
+        """A repair can never move less than the data it regenerates."""
+        for params in RCParams.grid(8, 4):
+            assert params.repair_download_size(1 << 20) >= params.piece_size(1 << 20)
+
+    def test_table1_exact_values(self):
+        """The analytic columns of Table 1, byte-exact."""
+        mb = 1 << 20
+        expectations = {
+            (32, 0): (Fraction(mb), Fraction(2 * mb)),
+            (63, 30): (Fraction(126 * mb, 3038), Fraction(64 * 62 * mb, 1519)),
+            (32, 30): (Fraction(64 * mb, 1054), Fraction(64 * 31 * mb, 527)),
+            (40, 1): (Fraction(80 * mb, 638), Fraction(64 * 20 * mb, 638)),
+        }
+        for (d, i), (repair, storage) in expectations.items():
+            params = RCParams.paper_default(d, i)
+            assert params.repair_download_size(mb) == repair
+            assert params.storage_size(mb) == storage
+
+    def test_table1_rounded_to_paper_precision(self):
+        mb = 1 << 20
+        kb = 1 << 10
+        rows = [
+            (32, 0, 1024.0, 2.0),
+            (63, 30, 42.47, 2.61),
+            (32, 30, 62.18, 3.76),
+            (40, 1, 128.40, 2.006),
+        ]
+        for d, i, repair_kb, storage_mb in rows:
+            params = RCParams.paper_default(d, i)
+            assert float(params.repair_download_size(mb)) / kb == pytest.approx(
+                repair_kb, rel=2e-3
+            )
+            assert float(params.storage_size(mb)) / mb == pytest.approx(
+                storage_mb, rel=2e-3
+            )
+
+    def test_verbatim_iff_mbr(self):
+        """d == n_piece exactly when i = k - 1 (section 3.2 note)."""
+        for params in RCParams.grid(6, 5):
+            assert params.newcomer_stores_verbatim == (params.i == params.k - 1)
+
+
+class TestFragmentGeometry:
+    def test_aligned_file_size_divisible(self):
+        params = RCParams(32, 32, 40, 1)  # n_file = 319
+        aligned = params.aligned_file_size(1 << 20)
+        assert aligned >= 1 << 20
+        assert aligned % (params.n_file * 2) == 0
+
+    def test_aligned_file_size_of_aligned_input(self):
+        params = RCParams(4, 4, 5, 1)  # n_file = 11
+        size = params.n_file * 2 * 10
+        assert params.aligned_file_size(size) == size
+
+    def test_aligned_file_size_minimum_one_row(self):
+        params = RCParams(4, 4, 5, 1)
+        assert params.aligned_file_size(0) == params.n_file * 2
+        assert params.aligned_file_size(1) == params.n_file * 2
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            RCParams(4, 4, 5, 1).aligned_file_size(-1)
+
+    def test_fragment_size_times_n_file_is_file(self):
+        params = RCParams(8, 8, 11, 3)
+        assert params.fragment_size(1 << 16) * params.n_file == 1 << 16
+
+
+class TestNormalizedMetrics:
+    def test_reference_point_is_one(self):
+        erasure = RCParams.erasure(32, 32)
+        assert erasure.piece_stretch == 1
+        assert erasure.repair_reduction == 1
+
+    def test_fig1a_known_values(self):
+        """Spot values read off figure 1(a)."""
+        assert float(RCParams(32, 32, 32, 31).piece_stretch) == pytest.approx(
+            1.94, abs=0.01
+        )
+        assert float(RCParams(32, 32, 63, 0).piece_stretch) == 1.0
+
+    def test_fig1b_known_values(self):
+        """Spot values read off figure 1(b): minimum ~0.0415."""
+        assert float(RCParams(32, 32, 63, 31).repair_reduction) == pytest.approx(
+            0.04145, abs=2e-4
+        )
+        assert float(RCParams(32, 32, 63, 0).repair_reduction) == pytest.approx(
+            63 / 1024, rel=1e-9
+        )
+
+    def test_stretch_decreases_with_d(self):
+        """Figure 1(a): for fixed i > 0, larger d means smaller pieces."""
+        for i in (7, 15, 31):
+            stretches = [RCParams(32, 32, d, i).piece_stretch for d in range(32, 64)]
+            assert all(a > b for a, b in zip(stretches, stretches[1:]))
+
+    def test_reduction_decreases_with_i(self):
+        """Figure 1(b): for fixed d, larger i means less repair traffic."""
+        for d in (32, 40, 63):
+            reductions = [RCParams(32, 32, d, i).repair_reduction for i in range(32)]
+            assert all(a > b for a, b in zip(reductions, reductions[1:]))
+
+
+class TestPropertyBased:
+    @given(valid_params())
+    @settings(max_examples=300, deadline=None)
+    def test_integrality_of_fragment_counts(self, tup):
+        """Eq. E4 must yield integers for every valid configuration."""
+        k, h, d, i = tup
+        params = RCParams(k=k, h=h, d=d, i=i)
+        denominator = 2 * k * (d - k + 1) + i * (2 * k - i - 1)
+        assert denominator % 2 == 0
+        assert params.n_file == denominator // 2
+        assert params.n_piece == d - k + i + 1
+        assert params.n_piece >= 1
+        assert params.n_file >= k
+
+    @given(valid_params())
+    @settings(max_examples=300, deadline=None)
+    def test_piece_never_smaller_than_erasure(self, tup):
+        """p(d, i) >= 1/k always: erasure pieces are minimal (MSR bound)."""
+        k, h, d, i = tup
+        params = RCParams(k=k, h=h, d=d, i=i)
+        assert params.piece_fraction >= Fraction(1, k)
+
+    @given(valid_params())
+    @settings(max_examples=300, deadline=None)
+    def test_repair_never_exceeds_erasure(self, tup):
+        """d * r(d, i) <= 1: Regenerating repair never beats... is never
+        worse than transferring the whole file."""
+        k, h, d, i = tup
+        params = RCParams(k=k, h=h, d=d, i=i)
+        assert params.repair_reduction <= 1
+
+    @given(valid_params(), st.integers(1, 1 << 22))
+    @settings(max_examples=200, deadline=None)
+    def test_sizing_consistency(self, tup, file_size):
+        k, h, d, i = tup
+        params = RCParams(k=k, h=h, d=d, i=i)
+        assert (
+            params.repair_upload_size(file_size) * params.d
+            == params.repair_download_size(file_size)
+        )
+        assert (
+            params.piece_size(file_size)
+            == params.n_piece * params.fragment_size(file_size)
+        )
+        assert params.storage_size(file_size) >= file_size

@@ -1,0 +1,156 @@
+"""Tests for the piece/fragment wire format."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.params import RCParams
+from repro.core.regenerating import RandomLinearRegeneratingCode
+from repro.core.serialization import (
+    FORMAT_VERSION,
+    MAGIC,
+    SerializationError,
+    fragment_from_bytes,
+    fragment_to_bytes,
+    piece_from_bytes,
+    piece_to_bytes,
+)
+from repro.gf.field import GF
+
+
+@pytest.fixture()
+def code():
+    return RandomLinearRegeneratingCode(
+        RCParams(4, 4, 6, 2), rng=np.random.default_rng(3)
+    )
+
+
+@pytest.fixture()
+def encoded(code, sample_data):
+    return code.insert(sample_data)
+
+
+class TestPieceRoundtrip:
+    def test_roundtrip_preserves_everything(self, code, encoded):
+        for piece in encoded.pieces:
+            blob = piece_to_bytes(piece, code.field)
+            restored, field = piece_from_bytes(blob)
+            assert field == code.field
+            assert restored.index == piece.index
+            assert np.all(restored.data == piece.data)
+            assert np.all(restored.coefficients == piece.coefficients)
+
+    def test_blob_size_matches_storage_accounting(self, code, encoded):
+        piece = encoded.pieces[0]
+        blob = piece_to_bytes(piece, code.field)
+        header = 24  # 4s + 4 x u8 + 4 x u32, packed little-endian
+        assert len(blob) == header + piece.storage_bytes(code.field)
+
+    def test_deserialized_pieces_decode(self, code, encoded, sample_data):
+        blobs = [piece_to_bytes(piece, code.field) for piece in encoded.pieces[:4]]
+        pieces = [piece_from_bytes(blob)[0] for blob in blobs]
+        assert code.reconstruct(pieces, len(sample_data)) == sample_data
+
+    def test_gf256_roundtrip(self, sample_data):
+        code = RandomLinearRegeneratingCode(
+            RCParams(3, 3, 4, 1), field=GF(8), rng=np.random.default_rng(4)
+        )
+        encoded = code.insert(sample_data)
+        blob = piece_to_bytes(encoded.pieces[0], code.field)
+        restored, field = piece_from_bytes(blob)
+        assert field.q == 8
+        assert np.all(restored.data == encoded.pieces[0].data)
+
+
+class TestFragmentRoundtrip:
+    def test_roundtrip(self, code, encoded):
+        fragment = code.participant_contribution(encoded.pieces[0])
+        blob = fragment_to_bytes(fragment, code.field)
+        restored, field = fragment_from_bytes(blob)
+        assert field == code.field
+        assert np.all(restored.data == fragment.data)
+        assert np.all(restored.coefficients == fragment.coefficients)
+
+    def test_blob_size_matches_wire_accounting(self, code, encoded):
+        fragment = code.participant_contribution(encoded.pieces[0])
+        blob = fragment_to_bytes(fragment, code.field)
+        assert len(blob) == 24 + fragment.wire_bytes(code.field)
+
+    def test_deserialized_uploads_repair(self, code, encoded, sample_data):
+        blobs = [
+            fragment_to_bytes(code.participant_contribution(piece), code.field)
+            for piece in encoded.pieces[: code.params.d]
+        ]
+        uploads = [fragment_from_bytes(blob)[0] for blob in blobs]
+        piece = code.newcomer_repair(uploads, index=7)
+        healed = encoded.replace_piece(7, piece)
+        assert code.reconstruct(healed.subset([7, 0, 1, 2]), len(sample_data)) == sample_data
+
+
+class TestMalformedInput:
+    def _blob(self, code, encoded):
+        return piece_to_bytes(encoded.pieces[0], code.field)
+
+    def test_truncated_header(self):
+        with pytest.raises(SerializationError):
+            piece_from_bytes(b"RG")
+
+    def test_bad_magic(self, code, encoded):
+        blob = b"XXXX" + self._blob(code, encoded)[4:]
+        with pytest.raises(SerializationError):
+            piece_from_bytes(blob)
+
+    def test_bad_version(self, code, encoded):
+        blob = bytearray(self._blob(code, encoded))
+        blob[4] = FORMAT_VERSION + 1
+        with pytest.raises(SerializationError):
+            piece_from_bytes(bytes(blob))
+
+    def test_wrong_kind(self, code, encoded):
+        blob = self._blob(code, encoded)
+        with pytest.raises(SerializationError):
+            fragment_from_bytes(blob)  # it's a piece, not a fragment
+
+    def test_bad_field_exponent(self, code, encoded):
+        blob = bytearray(self._blob(code, encoded))
+        blob[6] = 7  # not byte aligned
+        with pytest.raises(SerializationError):
+            piece_from_bytes(bytes(blob))
+
+    def test_truncated_body(self, code, encoded):
+        blob = self._blob(code, encoded)
+        with pytest.raises(SerializationError):
+            piece_from_bytes(blob[:-3])
+
+    def test_trailing_garbage(self, code, encoded):
+        blob = self._blob(code, encoded) + b"\x00"
+        with pytest.raises(SerializationError):
+            piece_from_bytes(blob)
+
+    def test_magic_constant(self):
+        assert MAGIC == b"RGC1"
+
+
+class TestPropertyBased:
+    @given(st.binary(min_size=1, max_size=300), st.integers(0, 2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_arbitrary_files_roundtrip_through_serialization(self, data, seed):
+        code = RandomLinearRegeneratingCode(
+            RCParams(3, 2, 3, 1), rng=np.random.default_rng(seed)
+        )
+        encoded = code.insert(data)
+        pieces = [
+            piece_from_bytes(piece_to_bytes(piece, code.field))[0]
+            for piece in encoded.pieces[:3]
+        ]
+        assert code.reconstruct(pieces, len(data)) == data
+
+    @given(st.binary(max_size=64))
+    @settings(max_examples=50, deadline=None)
+    def test_random_blobs_never_crash(self, blob):
+        """Garbage in -> SerializationError out, never another exception."""
+        try:
+            piece_from_bytes(blob)
+        except SerializationError:
+            pass

@@ -1,0 +1,94 @@
+"""Stateful property testing of the regenerating-code life cycle.
+
+A hypothesis rule-based state machine plays adversary: it loses pieces,
+repairs them through arbitrary participant subsets, and occasionally
+reconstructs -- asserting after every step that the system-wide
+invariant holds: **whenever at least k pieces are stored, the file is
+recoverable (w.h.p. over GF(2^16)) and decodes to exactly the original
+bytes.**
+"""
+
+import numpy as np
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.core.params import RCParams
+from repro.core.regenerating import RandomLinearRegeneratingCode
+from repro.gf.field import GF
+
+K, H, D, I = 3, 4, 4, 1
+TOTAL = K + H
+
+
+class RegeneratingLifecycle(RuleBasedStateMachine):
+    """Pieces live in slots 0..k+h-1; slots can be emptied and refilled."""
+
+    @initialize(seed=st.integers(0, 2**31 - 1), size=st.integers(1, 300))
+    def setup(self, seed, size):
+        rng = np.random.default_rng(seed)
+        self.code = RandomLinearRegeneratingCode(
+            RCParams(K, H, D, I), field=GF(16), rng=rng
+        )
+        self.data = bytes(rng.integers(0, 256, size, dtype=np.uint8))
+        encoded = self.code.insert(self.data)
+        self.file_size = encoded.file_size
+        self.slots = {piece.index: piece for piece in encoded.pieces}
+        self.rng = rng
+
+    # ------------------------------------------------------------------
+    # adversarial moves
+    # ------------------------------------------------------------------
+
+    @precondition(lambda self: len(self.slots) > K)
+    @rule(choice=st.integers(0, TOTAL - 1))
+    def lose_piece(self, choice):
+        """Drop one stored piece (never past the recoverability floor,
+        mirroring a maintenance policy that keeps k alive)."""
+        keys = sorted(self.slots)
+        del self.slots[keys[choice % len(keys)]]
+
+    @precondition(lambda self: len(self.slots) >= D and len(self.slots) < TOTAL)
+    @rule(shuffle_seed=st.integers(0, 2**31 - 1))
+    def repair_piece(self, shuffle_seed):
+        """Regenerate some empty slot from d arbitrary live pieces."""
+        empty = [index for index in range(TOTAL) if index not in self.slots]
+        target = empty[shuffle_seed % len(empty)]
+        order = np.random.default_rng(shuffle_seed).permutation(sorted(self.slots))
+        participants = [self.slots[index] for index in order[:D]]
+        result = self.code.repair(participants, index=target)
+        self.slots[target] = result.piece
+
+    @precondition(lambda self: len(self.slots) >= K)
+    @rule(subset_seed=st.integers(0, 2**31 - 1))
+    def reconstruct_from_random_subset(self, subset_seed):
+        rng = np.random.default_rng(subset_seed)
+        keys = sorted(self.slots)
+        chosen = rng.choice(len(keys), size=K, replace=False)
+        pieces = [self.slots[keys[int(position)]] for position in chosen]
+        assert self.code.reconstruct(pieces, self.file_size) == self.data
+
+    # ------------------------------------------------------------------
+    # the standing invariant
+    # ------------------------------------------------------------------
+
+    @invariant()
+    def any_k_pieces_decode(self):
+        if not hasattr(self, "slots") or len(self.slots) < K:
+            return
+        keys = sorted(self.slots)
+        pieces = [self.slots[index] for index in keys[:K]]
+        assert self.code.can_reconstruct(pieces)
+        assert self.code.reconstruct(pieces, self.file_size) == self.data
+
+
+RegeneratingLifecycleTest = RegeneratingLifecycle.TestCase
+RegeneratingLifecycleTest.settings = settings(
+    max_examples=15, stateful_step_count=25, deadline=None
+)

@@ -1,0 +1,190 @@
+"""Tests for GF polynomials (the Reed-Solomon support layer)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gf.field import GF
+from repro.gf.polynomial import Polynomial
+
+
+@pytest.fixture()
+def field():
+    return GF(8)
+
+
+def poly(field, coeffs):
+    return Polynomial(field, coeffs)
+
+
+class TestConstruction:
+    def test_trailing_zeros_trimmed(self, field):
+        assert poly(field, [1, 2, 0, 0]).degree == 1
+
+    def test_zero_polynomial(self, field):
+        zero = Polynomial.zero(field)
+        assert zero.is_zero()
+        assert zero.degree == -1
+
+    def test_one(self, field):
+        one = Polynomial.one(field)
+        assert one.degree == 0
+        assert one(5) == 1
+
+    def test_monomial(self, field):
+        m = Polynomial.monomial(field, 3, coefficient=7)
+        assert m.degree == 3
+        assert m(1) == 7
+
+    def test_equality(self, field):
+        assert poly(field, [1, 2]) == poly(field, [1, 2, 0])
+        assert poly(field, [1, 2]) != poly(field, [2, 1])
+
+    def test_cross_field_operations_rejected(self, field):
+        other = Polynomial(GF(16), [1])
+        with pytest.raises(ValueError):
+            poly(field, [1]) + other
+
+
+class TestArithmetic:
+    def test_add_is_coefficientwise_xor(self, field):
+        a = poly(field, [1, 2, 3])
+        b = poly(field, [3, 2])
+        assert (a + b) == poly(field, [2, 0, 3])
+
+    def test_add_own_inverse(self, field):
+        a = poly(field, [5, 6, 7])
+        assert (a + a).is_zero()
+
+    def test_sub_equals_add(self, field):
+        a = poly(field, [5, 6])
+        b = poly(field, [1, 2])
+        assert (a - b) == (a + b)
+
+    def test_mul_degree(self, field):
+        a = poly(field, [1, 1])
+        b = poly(field, [1, 0, 1])
+        assert (a * b).degree == 3
+
+    def test_mul_by_zero(self, field):
+        assert (poly(field, [1, 2]) * Polynomial.zero(field)).is_zero()
+
+    def test_mul_commutative(self, field):
+        rng = np.random.default_rng(1)
+        a = poly(field, field.random(4, rng))
+        b = poly(field, field.random(3, rng))
+        assert a * b == b * a
+
+    def test_scale(self, field):
+        assert poly(field, [1, 2]).scale(3) == poly(
+            field, [field.multiply(3, 1), field.multiply(3, 2)]
+        )
+
+    def test_divmod_roundtrip(self, field):
+        rng = np.random.default_rng(2)
+        numerator = poly(field, field.random(6, rng))
+        denominator = poly(field, np.concatenate([field.random(2, rng), [1]]))
+        quotient, remainder = divmod(numerator, denominator)
+        assert quotient * denominator + remainder == numerator
+        assert remainder.degree < denominator.degree
+
+    def test_division_by_zero_raises(self, field):
+        with pytest.raises(ZeroDivisionError):
+            divmod(poly(field, [1]), Polynomial.zero(field))
+
+    def test_floordiv_and_mod(self, field):
+        a = poly(field, [0, 0, 1])  # x^2
+        b = poly(field, [0, 1])  # x
+        assert a // b == b
+        assert (a % b).is_zero()
+
+
+class TestEvaluation:
+    def test_constant(self, field):
+        assert poly(field, [7])(123) == 7
+
+    def test_linear(self, field):
+        p = poly(field, [3, 2])  # 3 + 2x
+        for x in range(8):
+            assert p(x) == field.add(3, field.multiply(2, x))
+
+    def test_vectorized_evaluation(self, field):
+        p = poly(field, [1, 1, 1])
+        points = np.arange(8, dtype=np.uint8)
+        values = p(points)
+        assert values.shape == (8,)
+        for x in range(8):
+            assert values[x] == p(int(x))
+
+    def test_from_roots_vanishes_at_roots(self, field):
+        roots = [3, 7, 11]
+        p = Polynomial.from_roots(field, roots)
+        assert p.degree == 3
+        for root in roots:
+            assert p(root) == 0
+        assert p(1) != 0
+
+
+class TestInterpolation:
+    def test_roundtrip(self, field):
+        rng = np.random.default_rng(3)
+        coefficients = field.random(5, rng)
+        original = poly(field, coefficients)
+        xs = np.arange(5, dtype=np.uint8)
+        ys = original(xs)
+        recovered = Polynomial.interpolate(field, xs, ys)
+        assert recovered == original or (original.degree < 4 and recovered.degree <= 4)
+        assert np.all(recovered(xs) == ys)
+
+    def test_interpolation_exact_for_full_degree(self, field):
+        xs = np.array([1, 2, 3, 4], dtype=np.uint8)
+        ys = np.array([5, 6, 7, 8], dtype=np.uint8)
+        p = Polynomial.interpolate(field, xs, ys)
+        assert np.all(p(xs) == ys)
+        assert p.degree <= 3
+
+    def test_duplicate_points_rejected(self, field):
+        with pytest.raises(ValueError):
+            Polynomial.interpolate(field, [1, 1], [2, 3])
+
+    def test_mismatched_lengths_rejected(self, field):
+        with pytest.raises(ValueError):
+            Polynomial.interpolate(field, [1, 2], [3])
+
+
+class TestDerivative:
+    def test_derivative_of_constant_is_zero(self, field):
+        assert poly(field, [5]).derivative().is_zero()
+
+    def test_char2_even_terms_vanish(self, field):
+        # d/dx (x^2) = 2x = 0 in characteristic 2.
+        assert Polynomial.monomial(field, 2).derivative().is_zero()
+        # d/dx (x^3) = 3x^2 = x^2.
+        assert Polynomial.monomial(field, 3).derivative() == Polynomial.monomial(field, 2)
+
+
+class TestPropertyBased:
+    @given(
+        st.lists(st.integers(0, 255), min_size=1, max_size=6),
+        st.lists(st.integers(0, 255), min_size=1, max_size=6),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_mul_evaluation_homomorphism(self, a_coeffs, b_coeffs):
+        field = GF(8)
+        a = Polynomial(field, a_coeffs)
+        b = Polynomial(field, b_coeffs)
+        for x in (0, 1, 5, 200):
+            assert (a * b)(x) == field.multiply(a(x), b(x))
+
+    @given(
+        st.lists(st.integers(0, 255), min_size=1, max_size=6),
+        st.lists(st.integers(0, 255), min_size=1, max_size=6),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_add_evaluation_homomorphism(self, a_coeffs, b_coeffs):
+        field = GF(8)
+        a = Polynomial(field, a_coeffs)
+        b = Polynomial(field, b_coeffs)
+        for x in (0, 3, 77):
+            assert (a + b)(x) == field.add(a(x), b(x))

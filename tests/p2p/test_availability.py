@@ -1,0 +1,196 @@
+"""Tests for transient availability (on/off peers)."""
+
+import numpy as np
+import pytest
+
+from repro.codes import RegeneratingCodeScheme, ReplicationScheme
+from repro.core.params import RCParams
+from repro.p2p.availability import AlwaysOnline, ExponentialOnOff, PeriodicOnOff
+from repro.p2p.churn import DeterministicLifetime
+from repro.p2p.maintenance import EagerMaintenance, LazyMaintenance
+from repro.p2p.system import BackupSystem, SimulationConfig
+
+
+def payload(size=2048, seed=0):
+    return bytes(np.random.default_rng(seed).integers(0, 256, size, dtype=np.uint8))
+
+
+class TestModels:
+    def test_always_online(self):
+        model = AlwaysOnline()
+        assert model.availability == 1.0
+        assert model.sample_online(np.random.default_rng(0)) == float("inf")
+        with pytest.raises(RuntimeError):
+            model.sample_offline(np.random.default_rng(0))
+
+    def test_exponential_validation(self):
+        with pytest.raises(ValueError):
+            ExponentialOnOff(0, 1)
+        with pytest.raises(ValueError):
+            ExponentialOnOff(1, -1)
+
+    def test_exponential_availability(self):
+        model = ExponentialOnOff(mean_online=30.0, mean_offline=10.0)
+        assert model.availability == pytest.approx(0.75)
+        rng = np.random.default_rng(1)
+        online = np.mean([model.sample_online(rng) for _ in range(5000)])
+        offline = np.mean([model.sample_offline(rng) for _ in range(5000)])
+        assert online == pytest.approx(30.0, rel=0.1)
+        assert offline == pytest.approx(10.0, rel=0.1)
+
+    def test_periodic(self):
+        model = PeriodicOnOff(online=8.0, offline=2.0)
+        assert model.availability == pytest.approx(0.8)
+        rng = np.random.default_rng(2)
+        assert model.sample_online(rng) == 8.0
+        assert model.sample_offline(rng) == 2.0
+        with pytest.raises(ValueError):
+            PeriodicOnOff(0, 1)
+
+    def test_repr(self):
+        assert "AlwaysOnline" in repr(AlwaysOnline())
+        assert "30.0" in repr(ExponentialOnOff(30.0, 10.0))
+        assert "8.0" in repr(PeriodicOnOff(8.0, 2.0))
+
+
+def quiet_config(**overrides):
+    settings = dict(
+        initial_peers=20,
+        lifetime_model=DeterministicLifetime(1e9),
+        # No spontaneous disconnects (online sessions outlive the test),
+        # but forced offline events get a finite rejoin delay.
+        availability_model=PeriodicOnOff(online=1e9, offline=5.0),
+        seed=3,
+    )
+    settings.update(overrides)
+    return SimulationConfig(**settings)
+
+
+class TestOfflineSemantics:
+    def test_offline_peer_keeps_blocks(self):
+        system = BackupSystem(ReplicationScheme(3), quiet_config())
+        file_id = system.insert_file(payload())
+        stored = system.files[file_id]
+        holder_id = next(iter(stored.holders.values()))
+        holder = system.peers[holder_id]
+        system._on_peer_offline(holder)
+        assert not holder.online
+        assert holder.alive
+        assert file_id in holder.stored  # the disk is intact
+
+    def test_offline_blocks_unavailable_but_surviving(self):
+        system = BackupSystem(ReplicationScheme(3), quiet_config())
+        file_id = system.insert_file(payload())
+        stored = system.files[file_id]
+        holder = system.peers[next(iter(stored.holders.values()))]
+        system._on_peer_offline(holder)
+        assert len(stored.live_blocks(system.peers)) == 2
+        assert len(stored.surviving_blocks(system.peers)) == 3
+
+    def test_file_not_lost_while_blocks_survive_offline(self):
+        """All holders offline: unavailable, NOT lost."""
+        scheme = ReplicationScheme(3)
+        system = BackupSystem(scheme, quiet_config())
+        file_id = system.insert_file(payload())
+        stored = system.files[file_id]
+        for peer_id in stored.holders.values():
+            system._on_peer_offline(system.peers[peer_id])
+        system._maintain(stored)
+        assert not stored.lost
+
+    def test_disconnect_counted(self):
+        system = BackupSystem(ReplicationScheme(3), quiet_config())
+        system._on_peer_offline(system.peers[0])
+        assert system.metrics.transient_disconnects == 1
+
+    def test_rejoin_restores_availability(self):
+        system = BackupSystem(ReplicationScheme(3), quiet_config())
+        file_id = system.insert_file(payload())
+        stored = system.files[file_id]
+        holder = system.peers[next(iter(stored.holders.values()))]
+        system._on_peer_offline(holder)
+        system._on_peer_online(holder)
+        assert holder.online
+        assert len(stored.live_blocks(system.peers)) == 3
+
+    def test_rejoin_drops_duplicate_after_repair(self):
+        """Eager policy repairs a disconnected holder's block; when the
+        holder returns, its stale copy is dropped and counted."""
+        system = BackupSystem(
+            RegeneratingCodeScheme(RCParams(4, 4, 5, 1), rng=np.random.default_rng(1)),
+            quiet_config(initial_peers=30),
+            policy=EagerMaintenance(),
+        )
+        file_id = system.insert_file(payload())
+        stored = system.files[file_id]
+        block_index, holder_id = next(iter(stored.holders.items()))
+        holder = system.peers[holder_id]
+        system._on_peer_offline(holder)
+        system.run(10.0)  # the eager repair completes
+        assert stored.holders[block_index] != holder_id
+        system._on_peer_online(holder)
+        assert file_id not in holder.stored
+        assert system.metrics.duplicates_dropped == 1
+
+    def test_rejoin_keeps_block_when_not_repaired(self):
+        """Lazy policy rides out the outage; the returning copy stands."""
+        system = BackupSystem(
+            RegeneratingCodeScheme(RCParams(4, 4, 5, 1), rng=np.random.default_rng(2)),
+            quiet_config(initial_peers=30),
+            policy=LazyMaintenance(threshold=5),
+        )
+        file_id = system.insert_file(payload())
+        stored = system.files[file_id]
+        block_index, holder_id = next(iter(stored.holders.items()))
+        holder = system.peers[holder_id]
+        system._on_peer_offline(holder)
+        system.run(10.0)
+        assert stored.holders[block_index] == holder_id  # untouched
+        system._on_peer_online(holder)
+        assert file_id in holder.stored
+        assert system.metrics.duplicates_dropped == 0
+
+    def test_offline_peers_not_chosen_for_placement(self):
+        system = BackupSystem(ReplicationScheme(3), quiet_config(initial_peers=4))
+        offline = system.peers[0]
+        system._on_peer_offline(offline)
+        file_id = system.insert_file(payload())
+        assert offline.peer_id not in system.files[file_id].holders.values()
+
+
+class TestEagerVsLazyUnderTransientChurn:
+    """The classic result: lazy maintenance wins when churn is mostly
+    transient -- the dynamics the paper's backup scenario lives in."""
+
+    def _run(self, policy, seed=17):
+        system = BackupSystem(
+            RegeneratingCodeScheme(RCParams(4, 4, 5, 1), rng=np.random.default_rng(7)),
+            SimulationConfig(
+                initial_peers=30,
+                lifetime_model=DeterministicLifetime(1e9),  # no permanent churn
+                availability_model=ExponentialOnOff(mean_online=40.0, mean_offline=8.0),
+                seed=seed,
+            ),
+            policy=policy,
+        )
+        data = payload()
+        file_id = system.insert_file(data)
+        system.run(400.0)
+        # Bring everyone back to check nothing was truly lost.
+        for peer in system.peers.values():
+            if peer.alive and not peer.online:
+                system._on_peer_online(peer)
+        assert system.restore_file(file_id) == data
+        return system.metrics
+
+    def test_transient_churn_happens(self):
+        metrics = self._run(EagerMaintenance())
+        assert metrics.transient_disconnects > 50
+        assert metrics.peer_deaths == 0
+
+    def test_eager_wastes_repairs_lazy_does_not(self):
+        eager = self._run(EagerMaintenance())
+        lazy = self._run(LazyMaintenance(threshold=5))
+        assert eager.repairs_completed > 2 * lazy.repairs_completed
+        assert eager.duplicates_dropped > 2 * lazy.duplicates_dropped
+        assert eager.repair_bytes > lazy.repair_bytes

@@ -1,0 +1,127 @@
+"""Tests for the discrete-event queue."""
+
+import pytest
+
+from repro.p2p.events import EventQueue
+
+
+class TestScheduling:
+    def test_starts_at_zero(self):
+        assert EventQueue().now == 0.0
+
+    def test_custom_start_time(self):
+        assert EventQueue(start_time=5.0).now == 5.0
+
+    def test_events_run_in_time_order(self):
+        queue = EventQueue()
+        order = []
+        queue.schedule(3.0, lambda q: order.append("c"))
+        queue.schedule(1.0, lambda q: order.append("a"))
+        queue.schedule(2.0, lambda q: order.append("b"))
+        queue.run_all()
+        assert order == ["a", "b", "c"]
+
+    def test_simultaneous_events_fifo(self):
+        queue = EventQueue()
+        order = []
+        for name in "abc":
+            queue.schedule(1.0, lambda q, name=name: order.append(name))
+        queue.run_all()
+        assert order == ["a", "b", "c"]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().schedule(-1.0, lambda q: None)
+
+    def test_schedule_at_absolute_time(self):
+        queue = EventQueue()
+        seen = []
+        queue.schedule_at(4.5, lambda q: seen.append(q.now))
+        queue.run_all()
+        assert seen == [4.5]
+
+    def test_schedule_at_past_rejected(self):
+        queue = EventQueue(start_time=10.0)
+        with pytest.raises(ValueError):
+            queue.schedule_at(5.0, lambda q: None)
+
+    def test_callbacks_can_schedule_followups(self):
+        queue = EventQueue()
+        times = []
+
+        def recurring(q):
+            times.append(q.now)
+            if len(times) < 3:
+                q.schedule(1.0, recurring)
+
+        queue.schedule(1.0, recurring)
+        queue.run_all()
+        assert times == [1.0, 2.0, 3.0]
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self):
+        queue = EventQueue()
+        seen = []
+        event = queue.schedule(1.0, lambda q: seen.append("x"))
+        event.cancel()
+        queue.run_all()
+        assert seen == []
+
+    def test_len_excludes_cancelled(self):
+        queue = EventQueue()
+        event = queue.schedule(1.0, lambda q: None)
+        queue.schedule(2.0, lambda q: None)
+        assert len(queue) == 2
+        event.cancel()
+        assert len(queue) == 1
+
+
+class TestRunUntil:
+    def test_stops_at_horizon(self):
+        queue = EventQueue()
+        seen = []
+        queue.schedule(1.0, lambda q: seen.append(1))
+        queue.schedule(5.0, lambda q: seen.append(5))
+        ran = queue.run_until(3.0)
+        assert ran == 1
+        assert seen == [1]
+        assert queue.now == 3.0  # clock advances to the horizon
+
+    def test_remaining_events_run_later(self):
+        queue = EventQueue()
+        seen = []
+        queue.schedule(5.0, lambda q: seen.append(5))
+        queue.run_until(3.0)
+        queue.run_until(6.0)
+        assert seen == [5]
+
+    def test_max_events_guard(self):
+        queue = EventQueue()
+
+        def storm(q):
+            q.schedule(0.0, storm)
+
+        queue.schedule(0.0, storm)
+        ran = queue.run_until(1.0, max_events=50)
+        assert ran == 50
+
+    def test_run_all_guard_raises(self):
+        queue = EventQueue()
+
+        def storm(q):
+            q.schedule(0.0, storm)
+
+        queue.schedule(0.0, storm)
+        with pytest.raises(RuntimeError):
+            queue.run_all(max_events=100)
+
+    def test_processed_counter(self):
+        queue = EventQueue()
+        queue.schedule(1.0, lambda q: None)
+        queue.schedule(2.0, lambda q: None)
+        queue.run_all()
+        assert queue.processed == 2
+
+    def test_step_on_empty_queue(self):
+        assert EventQueue().step() is False

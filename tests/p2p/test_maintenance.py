@@ -1,0 +1,53 @@
+"""Tests for maintenance policies."""
+
+import pytest
+
+from repro.p2p.maintenance import EagerMaintenance, LazyMaintenance
+
+
+class TestEager:
+    def test_repairs_every_loss(self):
+        policy = EagerMaintenance()
+        assert policy.repairs_needed(live_blocks=64, total_blocks=64, min_blocks=32) == 0
+        assert policy.repairs_needed(live_blocks=63, total_blocks=64, min_blocks=32) == 1
+        assert policy.repairs_needed(live_blocks=40, total_blocks=64, min_blocks=32) == 24
+
+    def test_invalid_state_rejected(self):
+        with pytest.raises(ValueError):
+            EagerMaintenance().repairs_needed(65, 64, 32)
+
+    def test_no_periodic_checks(self):
+        assert EagerMaintenance().check_interval() is None
+
+
+class TestLazy:
+    def test_waits_until_threshold(self):
+        policy = LazyMaintenance(threshold=40)
+        assert policy.repairs_needed(live_blocks=64, total_blocks=64, min_blocks=32) == 0
+        assert policy.repairs_needed(live_blocks=41, total_blocks=64, min_blocks=32) == 0
+        assert policy.repairs_needed(live_blocks=40, total_blocks=64, min_blocks=32) == 24
+        assert policy.repairs_needed(live_blocks=35, total_blocks=64, min_blocks=32) == 29
+
+    def test_threshold_below_k_rejected_at_use(self):
+        policy = LazyMaintenance(threshold=10)
+        with pytest.raises(ValueError):
+            policy.repairs_needed(live_blocks=20, total_blocks=64, min_blocks=32)
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            LazyMaintenance(threshold=0)
+
+    def test_interval_passthrough(self):
+        assert LazyMaintenance(threshold=5, interval=2.5).check_interval() == 2.5
+        assert LazyMaintenance(threshold=5).check_interval() is None
+
+    def test_batch_size_restores_full_redundancy(self):
+        """Lazy repairs always bring the file back to total_blocks."""
+        policy = LazyMaintenance(threshold=36)
+        live = 33
+        needed = policy.repairs_needed(live, 64, 32)
+        assert live + needed == 64
+
+    def test_repr(self):
+        assert "threshold=36" in repr(LazyMaintenance(36))
+        assert "Eager" in repr(EagerMaintenance())

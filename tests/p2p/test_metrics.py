@@ -1,0 +1,107 @@
+"""Tests for simulation metrics accounting."""
+
+import pytest
+
+from repro.p2p.metrics import RepairRecord, SimulationMetrics
+
+
+def record(time=1.0, bytes_downloaded=100, degree=4):
+    return RepairRecord(
+        time=time,
+        file_id=0,
+        block_index=0,
+        repair_degree=degree,
+        bytes_downloaded=bytes_downloaded,
+        duration_seconds=0.5,
+    )
+
+
+class TestCounters:
+    def test_insert(self):
+        metrics = SimulationMetrics()
+        metrics.record_insert(2048)
+        metrics.record_insert(1024)
+        assert metrics.files_inserted == 2
+        assert metrics.insert_bytes == 3072
+
+    def test_repair(self):
+        metrics = SimulationMetrics()
+        metrics.record_repair(record(bytes_downloaded=100))
+        metrics.record_repair(record(bytes_downloaded=300))
+        assert metrics.repairs_completed == 2
+        assert metrics.repair_bytes == 400
+        assert metrics.mean_repair_bytes() == 200
+
+    def test_repair_degree_mean(self):
+        metrics = SimulationMetrics()
+        metrics.record_repair(record(degree=4))
+        metrics.record_repair(record(degree=8))
+        assert metrics.mean_repair_degree() == 6.0
+
+    def test_empty_means(self):
+        metrics = SimulationMetrics()
+        assert metrics.mean_repair_bytes() == 0.0
+        assert metrics.mean_repair_degree() == 0.0
+
+    def test_restore(self):
+        metrics = SimulationMetrics()
+        metrics.record_restore(5000)
+        assert metrics.files_restored == 1
+        assert metrics.restore_bytes == 5000
+
+    def test_total_traffic(self):
+        metrics = SimulationMetrics()
+        metrics.record_insert(10)
+        metrics.record_repair(record(bytes_downloaded=20))
+        metrics.record_restore(30)
+        assert metrics.total_traffic_bytes == 60
+
+    def test_peer_death(self):
+        metrics = SimulationMetrics()
+        metrics.record_peer_death(blocks_lost=3)
+        assert metrics.peer_deaths == 1
+        assert metrics.block_losses == 3
+
+
+class TestDurability:
+    def test_no_files_is_perfect(self):
+        assert SimulationMetrics().durability() == 1.0
+
+    def test_fraction(self):
+        metrics = SimulationMetrics()
+        for _ in range(4):
+            metrics.record_insert(1)
+        metrics.record_file_loss()
+        assert metrics.durability() == 0.75
+
+
+class TestStorageSamples:
+    def test_peak(self):
+        metrics = SimulationMetrics()
+        metrics.sample_storage(0.0, 100)
+        metrics.sample_storage(1.0, 300)
+        metrics.sample_storage(2.0, 200)
+        assert metrics.peak_storage_bytes() == 300
+
+    def test_empty_peak(self):
+        assert SimulationMetrics().peak_storage_bytes() == 0
+
+
+class TestSummary:
+    def test_summary_is_complete_and_consistent(self):
+        metrics = SimulationMetrics()
+        metrics.record_insert(100)
+        metrics.record_repair(record())
+        metrics.record_repair_failure()
+        summary = metrics.summary()
+        assert summary["files_inserted"] == 1
+        assert summary["repairs_completed"] == 1
+        assert summary["repairs_failed"] == 1
+        assert summary["durability"] == 1.0
+        assert set(summary) >= {
+            "insert_bytes",
+            "repair_bytes",
+            "mean_repair_bytes",
+            "mean_repair_degree",
+            "peak_storage_bytes",
+        }

@@ -1,0 +1,197 @@
+"""Tests for the network transfer model and pipelined computation."""
+
+import pytest
+
+from repro.p2p.network import NetworkModel, PipelinedComputation
+
+
+@pytest.fixture()
+def network():
+    return NetworkModel(latency_seconds=0.0)
+
+
+class TestPointToPoint:
+    def test_limited_by_slower_side(self, network):
+        # 1000 bytes = 8000 bits; min(1e3, 1e6) = 1 Kbps -> 8 seconds.
+        assert network.point_to_point_seconds(1000, 1e3, 1e6) == pytest.approx(8.0)
+        assert network.point_to_point_seconds(1000, 1e6, 1e3) == pytest.approx(8.0)
+
+    def test_latency_added(self):
+        network = NetworkModel(latency_seconds=0.5)
+        assert network.point_to_point_seconds(0, 1e6, 1e6) == pytest.approx(0.5)
+
+    def test_validation(self, network):
+        with pytest.raises(ValueError):
+            network.point_to_point_seconds(-1, 1e6, 1e6)
+        with pytest.raises(ValueError):
+            network.point_to_point_seconds(10, 0, 1e6)
+        with pytest.raises(ValueError):
+            NetworkModel(latency_seconds=-0.1)
+
+
+class TestFanIn:
+    def test_receiver_drain_dominates(self, network):
+        """Many slow-ish senders: the newcomer's downlink is the wall."""
+        seconds = network.fan_in_seconds([1000] * 10, [1e6] * 10, 1e4)
+        # total 80000 bits / 1e4 bps = 8 s; each sender alone needs 8 ms.
+        assert seconds == pytest.approx(8.0)
+
+    def test_slowest_sender_dominates(self, network):
+        seconds = network.fan_in_seconds([1000, 1000], [1e3, 1e6], 1e9)
+        assert seconds == pytest.approx(8.0)  # the 1 Kbps sender
+
+    def test_empty_fan_in(self, network):
+        assert network.fan_in_seconds([], [], 1e6) == 0.0
+
+    def test_mismatched_lengths(self, network):
+        with pytest.raises(ValueError):
+            network.fan_in_seconds([10], [1e6, 1e6], 1e6)
+
+    def test_repair_fan_in_slower_than_single_transfer(self, network):
+        """d concurrent uploads into one downlink share it fairly."""
+        single = network.point_to_point_seconds(1000, 1e6, 1e6)
+        fanin = network.fan_in_seconds([1000] * 8, [1e6] * 8, 1e6)
+        assert fanin == pytest.approx(8 * single)
+
+
+class TestFanOut:
+    def test_sender_push_dominates(self, network):
+        seconds = network.fan_out_seconds([1000] * 8, 1e6, [1e9] * 8)
+        assert seconds == pytest.approx(8000 * 8 / 1e6)  # 64000 bits / 1e6
+
+    def test_slowest_receiver_dominates(self, network):
+        seconds = network.fan_out_seconds([1000, 1000], 1e9, [1e3, 1e9])
+        assert seconds == pytest.approx(8.0)
+
+    def test_empty_fan_out(self, network):
+        assert network.fan_out_seconds([], 1e6, []) == 0.0
+
+    def test_mismatched_lengths(self, network):
+        with pytest.raises(ValueError):
+            network.fan_out_seconds([10, 10], 1e6, [1e6])
+
+
+class TestPipelinedComputation:
+    def test_infinite_cpu_is_free(self):
+        pipeline = PipelinedComputation()
+        plan = pipeline.plan(transfer_seconds=2.0, operations=1e12)
+        assert plan.computation_seconds == 0.0
+        assert plan.total_seconds == 2.0
+        assert plan.network_bound
+
+    def test_cpu_bound_when_slow(self):
+        pipeline = PipelinedComputation(ops_per_second=1e6)
+        plan = pipeline.plan(transfer_seconds=1.0, operations=5e6)
+        assert plan.computation_seconds == pytest.approx(5.0)
+        assert plan.total_seconds == pytest.approx(5.0)
+        assert not plan.network_bound
+
+    def test_pipelining_takes_max_not_sum(self):
+        """The paper's section 5.2 assumption."""
+        pipeline = PipelinedComputation(ops_per_second=1e6)
+        plan = pipeline.plan(transfer_seconds=3.0, operations=2e6)
+        assert plan.total_seconds == 3.0  # not 5.0
+
+    def test_bottleneck_crossover_matches_bnb(self):
+        """A peer at exactly the bottleneck bandwidth balances the two
+        sides: transfer time == computation time."""
+        ops = 4e6
+        ops_per_second = 1e6
+        data_bytes = 1_000_000
+        bnb = data_bytes * 8 / (ops / ops_per_second)  # definition
+        pipeline = PipelinedComputation(ops_per_second)
+        transfer = data_bytes * 8 / bnb
+        plan = pipeline.plan(transfer, ops)
+        assert plan.transfer_seconds == pytest.approx(plan.computation_seconds)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PipelinedComputation(ops_per_second=0)
+        with pytest.raises(ValueError):
+            PipelinedComputation(1e6).seconds_for_ops(-1)
+
+
+class TestLinkScheduler:
+    def _scheduler(self):
+        from repro.p2p.network import LinkScheduler
+
+        return LinkScheduler()
+
+    def test_idle_links_start_immediately(self):
+        links = self._scheduler()
+        completion = links.schedule_fan_in(
+            now=10.0, senders=[1, 2], durations=[2.0, 3.0], receiver=9, drain_duration=1.0
+        )
+        assert completion == 13.0  # slowest upload dominates the 1.0 drain
+
+    def test_busy_uplink_serializes(self):
+        links = self._scheduler()
+        links.schedule_fan_in(0.0, [1], [5.0], 9, 1.0)
+        completion = links.schedule_fan_in(0.0, [1], [2.0], 8, 0.5)
+        # Sender 1 is busy until t=5; the second upload runs 5..7.
+        assert completion == 7.0
+
+    def test_busy_downlink_serializes(self):
+        links = self._scheduler()
+        links.schedule_fan_in(0.0, [1], [1.0], 9, 4.0)
+        completion = links.schedule_fan_in(0.0, [2], [1.0], 9, 4.0)
+        assert completion == 8.0  # receiver drains 0..4 then 4..8
+
+    def test_drain_dominates_when_larger(self):
+        links = self._scheduler()
+        completion = links.schedule_fan_in(0.0, [1, 2], [1.0, 1.0], 9, 10.0)
+        assert completion == 10.0
+
+    def test_forget_releases_state(self):
+        links = self._scheduler()
+        links.schedule_fan_in(0.0, [1], [5.0], 9, 5.0)
+        links.forget(1)
+        links.forget(9)
+        assert links.uplink_free_at(1) == 0.0
+        assert links.downlink_free_at(9) == 0.0
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            self._scheduler().schedule_fan_in(0.0, [1], [1.0, 2.0], 9, 0.0)
+
+    def test_contention_slows_repair_storms(self):
+        """End to end: with link contention on, a burst of simultaneous
+        repairs through the same helpers takes longer per repair."""
+        import numpy as np
+
+        from repro.codes import RegeneratingCodeScheme
+        from repro.core.params import RCParams
+        from repro.p2p.churn import DeterministicLifetime
+        from repro.p2p.system import BackupSystem, SimulationConfig
+
+        def run(contention):
+            system = BackupSystem(
+                RegeneratingCodeScheme(
+                    RCParams(4, 4, 5, 1), rng=np.random.default_rng(3)
+                ),
+                SimulationConfig(
+                    initial_peers=12,
+                    lifetime_model=DeterministicLifetime(1e9),
+                    upload_bps=1e4,   # uploads dominate: shared uplinks hurt
+                    download_bps=1e9,
+                    model_link_contention=contention,
+                    seed=4,
+                ),
+            )
+            data = bytes(np.random.default_rng(5).integers(0, 256, 8192, dtype=np.uint8))
+            file_id = system.insert_file(data)
+            stored = system.files[file_id]
+            # Two holders of the SAME file die at once: both repairs pull
+            # from the same d surviving helpers, so their uploads contend.
+            victims = list(stored.holders.values())[:2]
+            for victim in victims:
+                system.peers[victim].kill()
+            system._maintain(stored)
+            system.run(500.0)
+            records = system.metrics.repair_records
+            return sum(r.duration_seconds for r in records), len(records)
+
+        free_total, free_count = run(False)
+        contended_total, contended_count = run(True)
+        assert free_count > 0 and contended_count == free_count
+        assert contended_total > free_total

@@ -1,0 +1,83 @@
+"""Tests for peer state."""
+
+import pytest
+
+from repro.codes.base import Block
+from repro.p2p.peer import Peer
+
+
+def make_peer(**overrides):
+    settings = dict(peer_id=1, join_time=0.0, death_time=100.0)
+    settings.update(overrides)
+    return Peer(**settings)
+
+
+def make_block(index=0, size=100):
+    return Block(index=index, content=b"x" * size, payload_bytes=size)
+
+
+class TestValidation:
+    def test_death_before_join_rejected(self):
+        with pytest.raises(ValueError):
+            make_peer(join_time=10.0, death_time=5.0)
+
+    def test_bandwidths_positive(self):
+        with pytest.raises(ValueError):
+            make_peer(upload_bps=0)
+        with pytest.raises(ValueError):
+            make_peer(download_bps=-1)
+
+    def test_lifetime(self):
+        assert make_peer(join_time=2.0, death_time=7.0).lifetime == 5.0
+
+
+class TestStorage:
+    def test_store_and_account(self):
+        peer = make_peer()
+        peer.store(7, make_block(size=50))
+        assert peer.used_bytes == 50
+        assert 7 in peer.stored
+
+    def test_one_block_per_file(self):
+        peer = make_peer()
+        peer.store(7, make_block())
+        with pytest.raises(ValueError):
+            peer.store(7, make_block(index=1))
+
+    def test_storage_limit_enforced(self):
+        peer = make_peer(storage_limit_bytes=120)
+        peer.store(1, make_block(size=100))
+        assert not peer.can_store(50)
+        with pytest.raises(ValueError):
+            peer.store(2, make_block(size=50))
+        assert peer.can_store(20)
+
+    def test_unbounded_free_space(self):
+        assert make_peer().free_bytes() == float("inf")
+
+    def test_drop(self):
+        peer = make_peer()
+        peer.store(7, make_block())
+        peer.drop(7)
+        assert peer.used_bytes == 0
+        peer.drop(99)  # dropping an absent file is a no-op
+
+    def test_dead_peer_rejects_stores(self):
+        peer = make_peer()
+        peer.kill()
+        with pytest.raises(RuntimeError):
+            peer.store(1, make_block())
+
+    def test_kill_clears_storage(self):
+        peer = make_peer()
+        peer.store(1, make_block())
+        peer.kill()
+        assert not peer.alive
+        assert peer.stored == {}
+        assert not peer.can_store(1)
+
+    def test_repr_shows_state(self):
+        peer = make_peer()
+        assert "alive" in repr(peer)
+        peer.kill()
+        assert "dead" in repr(peer)

@@ -1,0 +1,322 @@
+"""Integration tests for the BackupSystem simulator."""
+
+import numpy as np
+import pytest
+
+from repro.codes import (
+    RandomLinearErasureScheme,
+    RegeneratingCodeScheme,
+    ReplicationScheme,
+)
+from repro.core.params import RCParams
+from repro.p2p.churn import DeterministicLifetime, ExponentialLifetime
+from repro.p2p.maintenance import EagerMaintenance, LazyMaintenance
+from repro.p2p.placement import PlacementError
+from repro.p2p.system import BackupSystem, SimulationConfig
+
+
+def payload(size=2048, seed=0):
+    return bytes(np.random.default_rng(seed).integers(0, 256, size, dtype=np.uint8))
+
+
+def rc_scheme(seed=1, k=4, h=4, d=5, i=1):
+    return RegeneratingCodeScheme(RCParams(k, h, d, i), rng=np.random.default_rng(seed))
+
+
+def quiet_config(**overrides):
+    """Peers that outlive the test unless overridden."""
+    settings = dict(
+        initial_peers=20,
+        lifetime_model=DeterministicLifetime(1e9),
+        seed=3,
+    )
+    settings.update(overrides)
+    return SimulationConfig(**settings)
+
+
+class TestConfigValidation:
+    def test_bad_values(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(initial_peers=-1)
+        with pytest.raises(ValueError):
+            SimulationConfig(peer_arrival_rate=-0.1)
+        with pytest.raises(ValueError):
+            SimulationConfig(bandwidth_jitter=1.0)
+        with pytest.raises(ValueError):
+            SimulationConfig(seconds_per_time_unit=0)
+
+
+class TestBootstrap:
+    def test_initial_population(self):
+        system = BackupSystem(ReplicationScheme(3), quiet_config(initial_peers=12))
+        assert len(system.live_peers()) == 12
+
+    def test_death_events_scheduled(self):
+        system = BackupSystem(
+            ReplicationScheme(3),
+            quiet_config(initial_peers=5, lifetime_model=DeterministicLifetime(10.0)),
+        )
+        system.run(11.0)
+        assert len(system.live_peers()) == 0
+        assert system.metrics.peer_deaths == 5
+
+    def test_arrivals_replenish(self):
+        system = BackupSystem(
+            ReplicationScheme(3),
+            quiet_config(
+                initial_peers=5,
+                lifetime_model=ExponentialLifetime(5.0),
+                peer_arrival_rate=2.0,
+            ),
+        )
+        system.run(50.0)
+        assert len(system.peers) > 5  # arrivals happened
+
+    def test_bandwidth_jitter_varies_peers(self):
+        system = BackupSystem(
+            ReplicationScheme(3),
+            quiet_config(initial_peers=10, bandwidth_jitter=0.5),
+        )
+        uploads = {peer.upload_bps for peer in system.live_peers()}
+        assert len(uploads) > 1
+
+
+class TestInsertion:
+    def test_insert_places_all_blocks_distinctly(self):
+        system = BackupSystem(rc_scheme(), quiet_config())
+        file_id = system.insert_file(payload())
+        stored = system.files[file_id]
+        assert len(stored.holders) == 8
+        assert len(set(stored.holders.values())) == 8
+
+    def test_insert_traffic_recorded(self):
+        system = BackupSystem(rc_scheme(), quiet_config())
+        system.insert_file(payload())
+        assert system.metrics.insert_bytes > 0
+        assert system.metrics.files_inserted == 1
+
+    def test_insert_requires_enough_peers(self):
+        system = BackupSystem(rc_scheme(), quiet_config(initial_peers=5))
+        with pytest.raises(PlacementError):
+            system.insert_file(payload())
+
+
+class TestRestore:
+    def test_restore_roundtrip(self):
+        system = BackupSystem(rc_scheme(), quiet_config())
+        data = payload()
+        file_id = system.insert_file(data)
+        assert system.restore_file(file_id) == data
+        assert system.metrics.files_restored == 1
+        assert system.metrics.restore_bytes > 0
+
+    def test_restore_after_partial_loss(self):
+        system = BackupSystem(rc_scheme(seed=7), quiet_config())
+        data = payload()
+        file_id = system.insert_file(data)
+        # Kill half the holders (within tolerance h = 4).
+        holders = list(system.files[file_id].holders.values())[:4]
+        for peer_id in holders:
+            system.peers[peer_id].kill()
+        assert system.restore_file(file_id) == data
+
+
+class TestMaintenanceFlow:
+    def test_death_triggers_repair(self):
+        system = BackupSystem(
+            rc_scheme(seed=5),
+            quiet_config(
+                initial_peers=30,
+                lifetime_model=ExponentialLifetime(150.0),
+                peer_arrival_rate=0.25,  # replace departures on average
+                seed=11,
+            ),
+            policy=EagerMaintenance(),
+        )
+        data = payload()
+        file_id = system.insert_file(data)
+        system.run(300.0)
+        assert system.metrics.repairs_completed > 0
+        assert system.restore_file(file_id) == data
+
+    def test_repair_places_block_on_new_peer(self):
+        system = BackupSystem(rc_scheme(seed=6), quiet_config(initial_peers=30))
+        file_id = system.insert_file(payload())
+        stored = system.files[file_id]
+        victim_block, victim_peer = next(iter(stored.holders.items()))
+        system.peers[victim_peer].kill()
+        system.metrics.record_peer_death(1)
+        system._maintain(stored)
+        system.run(10.0)
+        assert stored.holders[victim_block] != victim_peer
+        new_peer = system.peers[stored.holders[victim_block]]
+        assert file_id in new_peer.stored
+
+    def test_lazy_policy_defers(self):
+        """With threshold k+1, single losses do not trigger repairs."""
+        system = BackupSystem(
+            rc_scheme(seed=8),
+            quiet_config(initial_peers=30),
+            policy=LazyMaintenance(threshold=5),
+        )
+        file_id = system.insert_file(payload())
+        stored = system.files[file_id]
+        holders = list(stored.holders.values())
+        system.peers[holders[0]].kill()
+        system._maintain(stored)
+        system.run(10.0)
+        assert system.metrics.repairs_completed == 0
+        # Two more losses reach the threshold -> batch repair to full.
+        for peer_id in holders[1:3]:
+            system.peers[peer_id].kill()
+        system._maintain(stored)
+        system.run(10.0)
+        assert system.metrics.repairs_completed == 3
+
+    def test_file_lost_beyond_tolerance(self):
+        system = BackupSystem(rc_scheme(seed=9), quiet_config(initial_peers=30))
+        file_id = system.insert_file(payload())
+        stored = system.files[file_id]
+        for peer_id in list(stored.holders.values())[:5]:  # > h = 4 losses
+            system.peers[peer_id].kill()
+        system._maintain(stored)
+        assert stored.lost
+        assert system.metrics.files_lost == 1
+        assert system.live_file_count() == 0
+
+    def test_repair_fallback_reinserts_when_d_unreachable(self):
+        """Survivors in [k, d): direct repair impossible, the fallback
+        reconstruct-and-reinsert path must keep the file alive."""
+        system = BackupSystem(rc_scheme(seed=10, d=7), quiet_config(initial_peers=30))
+        data = payload()
+        file_id = system.insert_file(data)
+        stored = system.files[file_id]
+        # Kill 3 of 8 holders: 5 survive, 5 < d = 7 but >= k = 4.
+        for peer_id in list(stored.holders.values())[:3]:
+            system.peers[peer_id].kill()
+        system._maintain(stored)
+        system.run(20.0)
+        assert not stored.lost
+        assert system.restore_file(file_id) == data
+
+    def test_fallback_disabled_records_failures(self):
+        system = BackupSystem(
+            rc_scheme(seed=10, d=7),
+            quiet_config(initial_peers=30, reinsert_on_repair_failure=False),
+        )
+        file_id = system.insert_file(payload())
+        stored = system.files[file_id]
+        for peer_id in list(stored.holders.values())[:3]:
+            system.peers[peer_id].kill()
+        system._maintain(stored)
+        system.run(20.0)
+        assert system.metrics.repairs_failed > 0
+        assert system.metrics.repairs_completed == 0
+
+
+class TestEndToEndChurn:
+    @pytest.mark.parametrize(
+        "scheme_factory",
+        [
+            lambda: ReplicationScheme(4),
+            lambda: RandomLinearErasureScheme(4, 4, rng=np.random.default_rng(2)),
+            lambda: rc_scheme(seed=3),
+        ],
+        ids=["replication", "erasure", "regenerating"],
+    )
+    def test_files_survive_sustained_churn(self, scheme_factory):
+        scheme = scheme_factory()
+        system = BackupSystem(
+            scheme,
+            SimulationConfig(
+                initial_peers=40,
+                lifetime_model=ExponentialLifetime(300.0),
+                peer_arrival_rate=0.15,
+                seed=21,
+            ),
+        )
+        data = payload()
+        file_ids = [system.insert_file(data) for _ in range(3)]
+        system.run(600.0)
+        assert system.metrics.peer_deaths > 20  # the churn actually happened
+        for file_id in file_ids:
+            assert system.restore_file(file_id) == data
+
+    def test_rc_repair_traffic_below_erasure(self):
+        """The paper's motivation, measured end to end in the simulator."""
+        def run(scheme):
+            system = BackupSystem(
+                scheme,
+                SimulationConfig(
+                    initial_peers=40,
+                    lifetime_model=ExponentialLifetime(250.0),
+                    peer_arrival_rate=0.2,
+                    seed=33,
+                ),
+            )
+            for _ in range(3):
+                system.insert_file(payload())
+            system.run(500.0)
+            return system.metrics
+
+        erasure = run(RandomLinearErasureScheme(4, 4, rng=np.random.default_rng(4)))
+        regenerating = run(rc_scheme(seed=5, d=6, i=2))
+        assert erasure.repairs_completed > 10
+        assert regenerating.repairs_completed > 10
+        assert (
+            regenerating.mean_repair_bytes() < 0.7 * erasure.mean_repair_bytes()
+        )
+
+    def test_deterministic_given_seed(self):
+        def run():
+            system = BackupSystem(
+                rc_scheme(seed=6),
+                SimulationConfig(
+                    initial_peers=30,
+                    lifetime_model=ExponentialLifetime(200.0),
+                    peer_arrival_rate=0.2,
+                    seed=55,
+                ),
+            )
+            system.insert_file(payload())
+            system.run(300.0)
+            return system.metrics.summary()
+
+        assert run() == run()
+
+
+class TestPeriodicMaintenance:
+    def test_sweep_retries_failed_repairs(self):
+        """A repair that failed for lack of eligible newcomers succeeds
+        on a later periodic sweep once new peers arrive."""
+        scheme = RegeneratingCodeScheme(RCParams(4, 4, 5, 1), rng=np.random.default_rng(31))
+        system = BackupSystem(
+            scheme,
+            SimulationConfig(
+                initial_peers=8,  # exactly enough to hold the file
+                lifetime_model=DeterministicLifetime(1e9),
+                peer_arrival_rate=0.5,
+                seed=32,
+            ),
+            policy=LazyMaintenance(threshold=7, interval=5.0),
+        )
+        data = payload()
+        file_id = system.insert_file(data)
+        stored = system.files[file_id]
+        victim = list(stored.holders.values())[0]
+        system.peers[victim].kill()
+        # The immediate death-trigger is absent (we killed directly), so
+        # only the periodic sweep can notice once enough peers exist.
+        system.run(60.0)
+        assert system.metrics.repairs_completed >= 1
+        assert system.restore_file(file_id) == data
+
+    def test_no_sweep_for_eager(self):
+        system = BackupSystem(
+            RegeneratingCodeScheme(RCParams(4, 4, 5, 1), rng=np.random.default_rng(33)),
+            quiet_config(),
+            policy=EagerMaintenance(),
+        )
+        before = len(system.queue)
+        system.run(100.0)
+        assert system.metrics.repairs_completed == 0

@@ -1,0 +1,209 @@
+"""Tests for churn-trace generation, persistence, and replay."""
+
+import numpy as np
+import pytest
+
+from repro.codes import RegeneratingCodeScheme, ReplicationScheme
+from repro.core.params import RCParams
+from repro.p2p.availability import ExponentialOnOff
+from repro.p2p.churn import DeterministicLifetime, ExponentialLifetime
+from repro.p2p.system import BackupSystem, SimulationConfig
+from repro.p2p.traces import ChurnTrace, SessionEvent, apply_trace, generate_trace
+
+
+class TestSessionEvent:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SessionEvent(time=1.0, kind="explode", peer_label=0)
+        with pytest.raises(ValueError):
+            SessionEvent(time=-1.0, kind="join", peer_label=0)
+
+
+class TestChurnTrace:
+    def test_ordering_enforced(self):
+        with pytest.raises(ValueError):
+            ChurnTrace(
+                events=(
+                    SessionEvent(5.0, "join", 0),
+                    SessionEvent(1.0, "join", 1),
+                ),
+                horizon=10.0,
+            )
+
+    def test_horizon_enforced(self):
+        with pytest.raises(ValueError):
+            ChurnTrace(events=(SessionEvent(20.0, "join", 0),), horizon=10.0)
+
+    def test_counts(self):
+        trace = ChurnTrace(
+            events=(
+                SessionEvent(0.0, "join", 0),
+                SessionEvent(0.0, "join", 1),
+                SessionEvent(3.0, "death", 0),
+            ),
+            horizon=10.0,
+        )
+        assert trace.peer_count == 2
+        assert len(trace.events_of_kind("death")) == 1
+
+
+class TestGeneration:
+    def test_initial_peers_join_at_zero(self):
+        trace = generate_trace(
+            peers=10, horizon=100.0, lifetime_model=ExponentialLifetime(50.0), seed=1
+        )
+        joins = trace.events_of_kind("join")
+        assert len(joins) == 10
+        assert all(event.time == 0.0 for event in joins)
+
+    def test_deaths_within_horizon_recorded(self):
+        trace = generate_trace(
+            peers=50, horizon=200.0, lifetime_model=ExponentialLifetime(50.0), seed=2
+        )
+        deaths = trace.events_of_kind("death")
+        assert len(deaths) > 30  # most peers die within 4 mean lifetimes
+        assert all(event.time <= 200.0 for event in deaths)
+
+    def test_arrivals(self):
+        trace = generate_trace(
+            peers=0,
+            horizon=100.0,
+            lifetime_model=ExponentialLifetime(50.0),
+            arrival_rate=0.5,
+            seed=3,
+        )
+        joins = trace.events_of_kind("join")
+        assert 25 < len(joins) < 85  # ~50 expected
+        assert all(event.time > 0 for event in joins)
+
+    def test_sessions_alternate(self):
+        trace = generate_trace(
+            peers=5,
+            horizon=500.0,
+            lifetime_model=DeterministicLifetime(1e9),
+            availability_model=ExponentialOnOff(20.0, 5.0),
+            seed=4,
+        )
+        for label in range(5):
+            timeline = [
+                event.kind
+                for event in trace.events
+                if event.peer_label == label and event.kind in ("offline", "online")
+            ]
+            for first, second in zip(timeline, timeline[1:]):
+                assert first != second  # strict alternation
+
+    def test_deterministic_by_seed(self):
+        settings_ = dict(peers=5, horizon=100.0, lifetime_model=ExponentialLifetime(30.0))
+        a = generate_trace(seed=7, **settings_)
+        b = generate_trace(seed=7, **settings_)
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_trace(peers=-1, horizon=10.0, lifetime_model=ExponentialLifetime(1.0))
+        with pytest.raises(ValueError):
+            generate_trace(peers=1, horizon=0.0, lifetime_model=ExponentialLifetime(1.0))
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        trace = generate_trace(
+            peers=8,
+            horizon=100.0,
+            lifetime_model=ExponentialLifetime(40.0),
+            availability_model=ExponentialOnOff(20.0, 5.0),
+            seed=5,
+        )
+        path = tmp_path / "trace.json"
+        trace.save(path)
+        assert ChurnTrace.load(path) == trace
+
+    def test_load_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"format": "something-else"}')
+        with pytest.raises(ValueError):
+            ChurnTrace.load(path)
+
+
+class TestReplay:
+    def _trace_system(self, scheme, trace):
+        system = BackupSystem(
+            scheme,
+            SimulationConfig(initial_peers=0, seed=9),
+        )
+        apply_trace(system, trace)
+        system.queue.run_until(0.0)  # materialize t=0 joins
+        return system
+
+    def test_joins_create_peers(self):
+        trace = generate_trace(
+            peers=12, horizon=50.0, lifetime_model=DeterministicLifetime(1e9), seed=6
+        )
+        system = self._trace_system(ReplicationScheme(3), trace)
+        assert len(system.live_peers()) == 12
+
+    def test_deaths_fire_at_trace_times(self):
+        trace = ChurnTrace(
+            events=(
+                SessionEvent(0.0, "join", 0),
+                SessionEvent(0.0, "join", 1),
+                SessionEvent(10.0, "death", 0),
+            ),
+            horizon=50.0,
+        )
+        system = self._trace_system(ReplicationScheme(2), trace)
+        system.run(9.0)
+        assert len(system.live_peers()) == 2
+        system.run(2.0)
+        assert len(system.live_peers()) == 1
+        assert system.metrics.peer_deaths == 1
+
+    def test_offline_online_replay(self):
+        trace = ChurnTrace(
+            events=(
+                SessionEvent(0.0, "join", 0),
+                SessionEvent(5.0, "offline", 0),
+                SessionEvent(8.0, "online", 0),
+            ),
+            horizon=50.0,
+        )
+        system = self._trace_system(ReplicationScheme(2), trace)
+        system.run(6.0)
+        assert len(system.live_peers()) == 0
+        system.run(3.0)
+        assert len(system.live_peers()) == 1
+        assert system.metrics.transient_disconnects == 1
+
+    def test_identical_churn_for_different_schemes(self):
+        """The point of traces: two schemes see bit-identical churn."""
+        trace = generate_trace(
+            peers=40,
+            horizon=300.0,
+            lifetime_model=ExponentialLifetime(150.0),
+            arrival_rate=0.3,
+            seed=11,
+        )
+        data = bytes(np.random.default_rng(1).integers(0, 256, 2048, dtype=np.uint8))
+
+        def run(scheme):
+            system = BackupSystem(scheme, SimulationConfig(initial_peers=0, seed=13))
+            apply_trace(system, trace)
+            system.queue.run_until(0.0)
+            file_id = system.insert_file(data)
+            system.run(300.0)
+            return system, file_id
+
+        rep_system, rep_file = run(ReplicationScheme(4))
+        rc_system, rc_file = run(
+            RegeneratingCodeScheme(RCParams(4, 4, 6, 2), rng=np.random.default_rng(2))
+        )
+        # Same churn:
+        assert rep_system.metrics.peer_deaths == rc_system.metrics.peer_deaths
+        # Different repair bills:
+        assert (
+            rc_system.metrics.mean_repair_bytes()
+            < rep_system.metrics.mean_repair_bytes()
+        )
+        assert rep_system.restore_file(rep_file) == data
+        assert rc_system.restore_file(rc_file) == data
