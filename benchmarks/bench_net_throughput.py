@@ -1,0 +1,109 @@
+"""Networked throughput: insert / repair / reconstruct wall-clock over
+localhost TCP for the Table-1 sweet spot RC(8,8,10,1).
+
+Unlike the other bench modules (which time the coding primitives
+in-process), this one measures the full repro.net stack: framing,
+content-addressed storage, per-request connections, and the
+coordinator's concurrency.  Localhost numbers are an upper bound -- a
+real deployment adds propagation delay but runs the same code path.
+
+Emits one JSON object per phase (machine-readable, greppable as
+``NET-THROUGHPUT``) plus a human-readable summary table.
+"""
+
+import asyncio
+import json
+
+import numpy as np
+import pytest
+from conftest import emit
+
+from repro.analysis.tables import render_table
+from repro.core.params import RCParams
+from repro.net import Coordinator, LocalCluster
+
+PARAMS = RCParams(8, 8, 10, 1)
+PEERS = 8
+FILE_SIZE = 256 << 10
+
+
+def _payload() -> bytes:
+    rng = np.random.default_rng(1)
+    return rng.integers(0, 256, size=FILE_SIZE, dtype=np.uint8).tobytes()
+
+
+def _emit_json(phase: str, seconds: float, wire_bytes: int) -> None:
+    record = {
+        "bench": "net_throughput",
+        "phase": phase,
+        "params": {"k": PARAMS.k, "h": PARAMS.h, "d": PARAMS.d, "i": PARAMS.i},
+        "peers": PEERS,
+        "file_bytes": FILE_SIZE,
+        "wire_bytes": wire_bytes,
+        "seconds": round(seconds, 6),
+        "mbps": round(wire_bytes * 8 / seconds / 1e6, 3) if seconds else None,
+    }
+    emit("NET-THROUGHPUT " + json.dumps(record, sort_keys=True))
+
+
+@pytest.fixture()
+def cluster_root(tmp_path):
+    return tmp_path / "cluster"
+
+
+def test_net_lifecycle_throughput(benchmark, cluster_root):
+    """One full insert -> repair -> reconstruct cycle, timed per phase."""
+    data = _payload()
+    timings: dict[str, tuple[float, int]] = {}
+
+    async def lifecycle() -> None:
+        loop = asyncio.get_running_loop()
+        async with LocalCluster(PEERS, cluster_root, seed=3) as cluster:
+            coordinator = Coordinator(PARAMS, rng=np.random.default_rng(5))
+
+            start = loop.time()
+            insert = await coordinator.insert(
+                data, cluster.addresses, file_id="bench"
+            )
+            timings["insert"] = (loop.time() - start, insert.bytes_uploaded)
+            manifest = insert.manifest
+
+            lost_address = await cluster.kill(0)
+            lost_index = min(
+                index
+                for index, location in manifest.pieces.items()
+                if location == lost_address
+            )
+            newcomer = await cluster.spawn()
+            start = loop.time()
+            repair = await coordinator.repair(manifest, lost_index, newcomer)
+            timings["repair"] = (loop.time() - start, repair.total_bytes)
+
+            start = loop.time()
+            restored, stats = await coordinator.reconstruct(manifest)
+            timings["reconstruct"] = (
+                loop.time() - start,
+                stats.payload_bytes + stats.coefficient_bytes,
+            )
+            assert restored == data
+
+    benchmark.pedantic(lambda: asyncio.run(lifecycle()), rounds=1, iterations=1)
+
+    rows = []
+    for phase, (seconds, wire_bytes) in timings.items():
+        _emit_json(phase, seconds, wire_bytes)
+        rows.append(
+            [
+                phase,
+                f"{wire_bytes}",
+                f"{seconds * 1e3:.1f}",
+                f"{wire_bytes * 8 / seconds / 1e6:.1f}",
+            ]
+        )
+    emit(f"\nNetworked life cycle, RC(8,8,10,1), {PEERS} peers, "
+         f"{FILE_SIZE} byte file (localhost TCP)")
+    emit(render_table(["phase", "wire bytes", "ms", "Mbps"], rows))
+
+    assert set(timings) == {"insert", "repair", "reconstruct"}
+    # Repair moves ~|file|/k * d bytes, far less than insertion's 2x|file|.
+    assert timings["repair"][1] < timings["insert"][1]

@@ -1,6 +1,6 @@
 """Command-line interface: back up real files with Regenerating Codes.
 
-Subcommands mirror the paper's life cycle:
+Subcommands mirror the paper's life cycle, on disk and over the wire:
 
     repro encode  FILE -k 8 -H 8 -d 10 -i 1 --out-dir pieces/
     repro info    pieces/piece_00.rgc
@@ -9,9 +9,20 @@ Subcommands mirror the paper's life cycle:
     repro decode  --manifest pieces/manifest.json --out restored.bin \
                   pieces/piece_*.rgc
 
+    repro serve   --root /var/backup/peer0 --port 9470
+    repro net put FILE --peers host1:9470,host2:9470 -k 8 -H 8 -d 10 -i 1 \
+                  --manifest file.netmanifest.json
+    repro net repair --manifest file.netmanifest.json --lost 3 \
+                  --newcomer host3:9470
+    repro net get --manifest file.netmanifest.json --out restored.bin
+
 Pieces use the versioned binary format of
 :mod:`repro.core.serialization`; the manifest is a small JSON file with
-the code parameters and original file size.
+the code parameters and original file size (plus, for ``net``, the
+piece -> peer placement map).
+
+Fatal errors (truncated or corrupt piece files, missing manifests,
+unreachable peers) print one clear message to stderr and exit 1.
 """
 
 from __future__ import annotations
@@ -32,17 +43,26 @@ from repro.core.serialization import (
 )
 from repro.gf.field import GF
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "CLIError"]
 
 MANIFEST_NAME = "manifest.json"
 
 
+class CLIError(Exception):
+    """A fatal, user-facing CLI failure: message to stderr, exit code 1."""
+
+
 def _load_manifest(path: pathlib.Path) -> dict:
-    with open(path) as handle:
-        manifest = json.load(handle)
+    try:
+        with open(path) as handle:
+            manifest = json.load(handle)
+    except FileNotFoundError:
+        raise CLIError(f"manifest {path} does not exist") from None
+    except json.JSONDecodeError as exc:
+        raise CLIError(f"manifest {path} is not valid JSON: {exc}") from None
     for key in ("k", "h", "d", "i", "q", "file_size"):
         if key not in manifest:
-            raise SystemExit(f"manifest {path} is missing the '{key}' field")
+            raise CLIError(f"manifest {path} is missing the '{key}' field")
     return manifest
 
 
@@ -55,11 +75,17 @@ def _code_from_manifest(manifest: dict, seed: int | None) -> RandomLinearRegener
 def _read_pieces(paths: list[str]):
     pieces = []
     for path in paths:
-        blob = pathlib.Path(path).read_bytes()
+        try:
+            blob = pathlib.Path(path).read_bytes()
+        except OSError as exc:
+            raise CLIError(f"cannot read piece file {path}: {exc}") from None
         try:
             piece, _ = piece_from_bytes(blob)
         except SerializationError as exc:
-            raise SystemExit(f"{path}: {exc}") from exc
+            raise CLIError(
+                f"{path}: invalid piece file ({exc}); "
+                f"drop it and retry with the remaining pieces"
+            ) from None
         pieces.append(piece)
     return pieces
 
@@ -299,6 +325,153 @@ def cmd_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_peer(text: str):
+    from repro.net.coordinator import PeerAddress
+
+    try:
+        return PeerAddress.parse(text)
+    except ValueError as exc:
+        raise CLIError(str(exc)) from None
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run one peer daemon serving a blockstore until interrupted."""
+    import asyncio
+
+    from repro.net.blockstore import BlockStore
+    from repro.net.server import PeerDaemon
+
+    daemon = PeerDaemon(
+        BlockStore(args.root),
+        host=args.host,
+        port=args.port,
+        max_concurrent=args.max_concurrent,
+        rng=np.random.default_rng(args.seed),
+    )
+
+    async def run() -> None:
+        await daemon.start()
+        print(
+            f"peer daemon serving {args.root} on {daemon.host}:{daemon.port} "
+            f"(max {args.max_concurrent} concurrent requests)",
+            flush=True,
+        )
+        await daemon.serve_forever()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("daemon stopped", file=sys.stderr)
+    return 0
+
+
+def cmd_net_put(args: argparse.Namespace) -> int:
+    """Encode a file and scatter its pieces over live peer daemons."""
+    import asyncio
+
+    from repro.net.coordinator import Coordinator
+    from repro.net.errors import NetError
+
+    source = pathlib.Path(args.file)
+    try:
+        data = source.read_bytes()
+    except OSError as exc:
+        raise CLIError(f"cannot read {source}: {exc}") from None
+    peers = [_parse_peer(text) for text in args.peers.split(",") if text]
+    if not peers:
+        raise CLIError("--peers needs at least one host:port")
+    params = RCParams(k=args.k, h=args.h, d=args.d, i=args.i)
+    coordinator = Coordinator(
+        params, field=GF(args.q), rng=np.random.default_rng(args.seed)
+    )
+    file_id = args.file_id or source.name
+    try:
+        stats = asyncio.run(coordinator.insert(data, peers, file_id))
+    except NetError as exc:
+        raise CLIError(f"insertion failed: {exc}") from None
+    stats.manifest.save(args.manifest)
+    print(
+        f"inserted {source} ({len(data)} bytes) as '{file_id}': "
+        f"{len(stats.manifest.pieces)} pieces on {stats.peers_used} peers, "
+        f"{stats.bytes_uploaded} bytes uploaded "
+        f"({stats.peers_skipped} dead peers skipped); manifest -> {args.manifest}"
+    )
+    return 0
+
+
+def cmd_net_repair(args: argparse.Namespace) -> int:
+    """Regenerate a lost piece onto a newcomer peer over the wire."""
+    import asyncio
+
+    from repro.net.coordinator import Coordinator
+    from repro.net.errors import NetError
+
+    manifest = _load_net_manifest(args.manifest)
+    if args.lost not in manifest.pieces:
+        raise CLIError(
+            f"manifest has no piece {args.lost} "
+            f"(valid: {sorted(manifest.pieces)})"
+        )
+    newcomer = _parse_peer(args.newcomer)
+    coordinator = Coordinator.from_manifest(
+        manifest, rng=np.random.default_rng(args.seed)
+    )
+    try:
+        stats = asyncio.run(coordinator.repair(manifest, args.lost, newcomer))
+    except NetError as exc:
+        raise CLIError(f"repair failed: {exc}") from None
+    manifest.save(args.manifest)
+    substituted = (
+        f" ({len(stats.helpers_failed)} dead helpers substituted)"
+        if stats.helpers_failed
+        else ""
+    )
+    print(
+        f"regenerated piece {args.lost} onto {newcomer} from "
+        f"d={len(stats.helpers)} helpers{substituted}; repair moved "
+        f"{stats.total_bytes} bytes (payload {stats.payload_bytes} + "
+        f"coefficients {stats.coefficient_bytes})"
+    )
+    return 0
+
+
+def cmd_net_get(args: argparse.Namespace) -> int:
+    """Reconstruct a file from the swarm (coefficient-first download)."""
+    import asyncio
+
+    from repro.net.coordinator import Coordinator
+    from repro.net.errors import NetError
+
+    manifest = _load_net_manifest(args.manifest)
+    coordinator = Coordinator.from_manifest(
+        manifest, rng=np.random.default_rng(args.seed)
+    )
+    try:
+        data, stats = asyncio.run(coordinator.reconstruct(manifest))
+    except NetError as exc:
+        raise CLIError(f"reconstruction failed: {exc}") from None
+    pathlib.Path(args.out).write_bytes(data)
+    print(
+        f"reconstructed {len(data)} bytes into {args.out}: downloaded "
+        f"{stats.fragments_downloaded} fragments ({stats.payload_bytes} payload "
+        f"bytes + {stats.coefficient_bytes} coefficient bytes) from "
+        f"{stats.pieces_used} of {stats.pieces_probed} probed pieces"
+    )
+    return 0
+
+
+def _load_net_manifest(path: str):
+    from repro.net.coordinator import NetManifest
+    from repro.net.errors import NetError
+
+    try:
+        return NetManifest.load(path)
+    except FileNotFoundError:
+        raise CLIError(f"net manifest {path} does not exist") from None
+    except (json.JSONDecodeError, KeyError, NetError) as exc:
+        raise CLIError(f"net manifest {path} is invalid: {exc}") from None
+
+
 def cmd_advise(args: argparse.Namespace) -> int:
     from repro.core.costs import coefficient_overhead
 
@@ -418,6 +591,54 @@ def build_parser() -> argparse.ArgumentParser:
     export.add_argument("--file-size", type=int, default=1 << 20)
     export.set_defaults(handler=cmd_export)
 
+    serve = subparsers.add_parser(
+        "serve", help="run a peer daemon serving an on-disk blockstore"
+    )
+    serve.add_argument("--root", required=True, help="blockstore directory")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="TCP port (0 picks an ephemeral one)")
+    serve.add_argument("--max-concurrent", type=int, default=8,
+                       help="requests serviced simultaneously (link contention)")
+    serve.add_argument("--seed", type=int, default=None,
+                       help="seed for helper-side repair randomness")
+    serve.set_defaults(handler=cmd_serve)
+
+    net = subparsers.add_parser(
+        "net", help="run the life cycle against live peer daemons"
+    )
+    net_sub = net.add_subparsers(dest="net_command", required=True)
+
+    net_put = net_sub.add_parser("put", help="encode and scatter a file")
+    net_put.add_argument("file")
+    net_put.add_argument("--peers", required=True,
+                         help="comma-separated host:port daemon addresses")
+    net_put.add_argument("-k", type=int, default=8)
+    net_put.add_argument("-H", "--redundancy", dest="h", type=int, default=8)
+    net_put.add_argument("-d", type=int, default=None)
+    net_put.add_argument("-i", type=int, default=0)
+    net_put.add_argument("-q", type=int, default=16, choices=(8, 16))
+    net_put.add_argument("--manifest", required=True,
+                         help="where to write the placement manifest")
+    net_put.add_argument("--file-id", default=None,
+                         help="swarm-wide name (default: the file name)")
+    net_put.add_argument("--seed", type=int, default=None)
+    net_put.set_defaults(handler=cmd_net_put)
+
+    net_repair = net_sub.add_parser("repair", help="regenerate a lost piece")
+    net_repair.add_argument("--manifest", required=True)
+    net_repair.add_argument("--lost", type=int, required=True)
+    net_repair.add_argument("--newcomer", required=True,
+                            help="host:port of the peer receiving the new piece")
+    net_repair.add_argument("--seed", type=int, default=None)
+    net_repair.set_defaults(handler=cmd_net_repair)
+
+    net_get = net_sub.add_parser("get", help="reconstruct a file from the swarm")
+    net_get.add_argument("--manifest", required=True)
+    net_get.add_argument("--out", required=True)
+    net_get.add_argument("--seed", type=int, default=None)
+    net_get.set_defaults(handler=cmd_net_get)
+
     return parser
 
 
@@ -426,7 +647,13 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if getattr(args, "command", None) == "encode" and args.d is None:
         args.d = args.k
-    return args.handler(args)
+    if getattr(args, "command", None) == "net" and getattr(args, "d", 1) is None:
+        args.d = args.k
+    try:
+        return args.handler(args)
+    except CLIError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

@@ -30,7 +30,13 @@ from repro.codes.base import (
     RepairOutcome,
 )
 
-__all__ = ["BlockCorruptionError", "ChecksummedScheme", "block_digest", "corrupt_block"]
+__all__ = [
+    "BlockCorruptionError",
+    "ChecksummedScheme",
+    "block_digest",
+    "corrupt_block",
+    "digest_bytes",
+]
 
 DIGEST_KEY = "block_digests"
 
@@ -54,9 +60,19 @@ def _content_bytes(content: Any) -> bytes:
     raise TypeError(f"cannot checksum content of type {type(content).__name__}")
 
 
+def digest_bytes(data: bytes) -> str:
+    """SHA-256 hex digest of raw bytes (the system-wide content address).
+
+    Shared by the in-simulator :class:`ChecksummedScheme` and the on-disk
+    :class:`repro.net.blockstore.BlockStore`, so a piece has the same
+    identity whether it lives in a directory service or a blockstore.
+    """
+    return hashlib.sha256(data).hexdigest()
+
+
 def block_digest(block: Block) -> str:
     """SHA-256 hex digest of a block's content."""
-    return hashlib.sha256(_content_bytes(block.content)).hexdigest()
+    return digest_bytes(_content_bytes(block.content))
 
 
 def corrupt_block(block: Block, byte_offset: int = 0) -> Block:

@@ -6,17 +6,26 @@ format for both, so that peers running this library interoperate:
 
     [magic 4B] [version u8] [kind u8] [q u8] [reserved u8]
     [index u32] [n_rows u32] [n_file u32] [l_frag u32]
+    [crc32 u32]                                   (version >= 2 only)
     [coefficients: n_rows * n_file elements, little-endian]
     [data:         n_rows * l_frag elements, little-endian]
 
 ``kind`` distinguishes a stored piece (n_rows = n_piece) from a repair
 upload (n_rows = 1, the paper's n_repair = 1).  Sizes on the wire match
 the paper's accounting exactly: payload plus coefficient rows.
+
+Version 2 adds a CRC32 over the element payload (coefficients + data)
+so that a corrupted piece is rejected at parse time instead of
+poisoning a decode -- random linear combinations spread a single
+flipped bit into every output fragment, so bytes coming off a disk or
+a socket must be checked before they are combined.  Version 1 blobs
+(no checksum) are still read.
 """
 
 from __future__ import annotations
 
 import struct
+import zlib
 
 import numpy as np
 
@@ -26,6 +35,7 @@ from repro.gf.field import GF, GaloisField
 __all__ = [
     "MAGIC",
     "FORMAT_VERSION",
+    "HEADER_SIZE",
     "SerializationError",
     "piece_to_bytes",
     "piece_from_bytes",
@@ -34,36 +44,56 @@ __all__ = [
 ]
 
 MAGIC = b"RGC1"
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
 _KIND_PIECE = 1
 _KIND_FRAGMENT = 2
-_HEADER = struct.Struct("<4sBBBBIIII")
+_HEADER_V1 = struct.Struct("<4sBBBBIIII")
+_HEADER_V2 = struct.Struct("<4sBBBBIIIII")
+#: Header size of the current (v2) format.
+HEADER_SIZE = _HEADER_V2.size
 
 
 class SerializationError(ValueError):
-    """Raised on malformed, truncated, or incompatible serialized data."""
+    """Raised on malformed, truncated, corrupt, or incompatible data."""
 
 
 def _pack(kind: int, field: GaloisField, index: int, coefficients, data) -> bytes:
     n_rows, n_file = coefficients.shape
     l_frag = data.shape[1]
-    header = _HEADER.pack(
-        MAGIC, FORMAT_VERSION, kind, field.q, 0, index, n_rows, n_file, l_frag
+    body = field.elements_to_bytes(coefficients.reshape(-1)) + field.elements_to_bytes(
+        data.reshape(-1)
     )
-    return (
-        header
-        + field.elements_to_bytes(coefficients.reshape(-1))
-        + field.elements_to_bytes(data.reshape(-1))
+    header = _HEADER_V2.pack(
+        MAGIC,
+        FORMAT_VERSION,
+        kind,
+        field.q,
+        0,
+        index,
+        n_rows,
+        n_file,
+        l_frag,
+        zlib.crc32(body),
     )
+    return header + body
 
 
 def _unpack(blob: bytes, expected_kind: int):
-    if len(blob) < _HEADER.size:
+    if len(blob) < _HEADER_V1.size:
         raise SerializationError(f"blob too short for header: {len(blob)} bytes")
-    magic, version, kind, q, _, index, n_rows, n_file, l_frag = _HEADER.unpack_from(blob)
+    magic, version = blob[:4], blob[4]
     if magic != MAGIC:
         raise SerializationError(f"bad magic {magic!r}, expected {MAGIC!r}")
-    if version != FORMAT_VERSION:
+    if version == 1:
+        header = _HEADER_V1
+        _, _, kind, q, _, index, n_rows, n_file, l_frag = header.unpack_from(blob)
+        crc = None
+    elif version == FORMAT_VERSION:
+        header = _HEADER_V2
+        if len(blob) < header.size:
+            raise SerializationError(f"blob too short for header: {len(blob)} bytes")
+        _, _, kind, q, _, index, n_rows, n_file, l_frag, crc = header.unpack_from(blob)
+    else:
         raise SerializationError(f"unsupported format version {version}")
     if kind != expected_kind:
         raise SerializationError(f"wrong kind {kind}, expected {expected_kind}")
@@ -72,17 +102,21 @@ def _unpack(blob: bytes, expected_kind: int):
     field = GF(q)
     coefficient_bytes = n_rows * n_file * field.element_size
     data_bytes = n_rows * l_frag * field.element_size
-    expected = _HEADER.size + coefficient_bytes + data_bytes
+    expected = header.size + coefficient_bytes + data_bytes
     if len(blob) != expected:
         raise SerializationError(
             f"blob size {len(blob)} does not match header ({expected} expected)"
         )
-    offset = _HEADER.size
-    coefficients = field.bytes_to_elements(
-        blob[offset : offset + coefficient_bytes]
-    ).reshape(n_rows, n_file)
-    offset += coefficient_bytes
-    data = field.bytes_to_elements(blob[offset:]).reshape(n_rows, l_frag)
+    body = blob[header.size :]
+    if crc is not None and zlib.crc32(body) != crc:
+        raise SerializationError(
+            f"checksum mismatch: payload CRC32 {zlib.crc32(body):#010x} does not "
+            f"match header {crc:#010x} (corrupt piece)"
+        )
+    coefficients = field.bytes_to_elements(body[:coefficient_bytes]).reshape(
+        n_rows, n_file
+    )
+    data = field.bytes_to_elements(body[coefficient_bytes:]).reshape(n_rows, l_frag)
     return field, index, coefficients, data
 
 

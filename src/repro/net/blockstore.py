@@ -1,0 +1,142 @@
+"""Content-addressed on-disk piece store with integrity verification.
+
+Layout under the store root::
+
+    objects/ab/cdef....        piece bytes, named by their SHA-256
+    refs/<sha256(key)>.json    {"key": ..., "digest": ...}
+
+Pieces are *content-addressed*: the object file name is the SHA-256 of
+its bytes (shared with the simulator's directory service through
+:func:`repro.codes.integrity.digest_bytes`), so identical pieces
+deduplicate and a corrupted object can never masquerade as the piece a
+ref points to.  Every read recomputes the digest and raises
+:class:`repro.codes.integrity.BlockCorruptionError` on mismatch -- the
+daemon maps that to a typed CORRUPT error so the coordinator treats the
+peer's copy as lost and repairs it like any other failure.
+
+Writes go through a temp file + ``os.replace`` so a crashed daemon
+never leaves a half-written object behind.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import tempfile
+
+from repro.codes.integrity import BlockCorruptionError, digest_bytes
+
+__all__ = ["BlockStore", "BlockCorruptionError"]
+
+
+class BlockStore:
+    """A directory of content-addressed pieces, keyed by opaque strings."""
+
+    def __init__(self, root: str | os.PathLike):
+        self.root = pathlib.Path(root)
+        self._objects = self.root / "objects"
+        self._refs = self.root / "refs"
+        self._objects.mkdir(parents=True, exist_ok=True)
+        self._refs.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # paths
+    # ------------------------------------------------------------------
+
+    def _object_path(self, digest: str) -> pathlib.Path:
+        return self._objects / digest[:2] / digest[2:]
+
+    def _ref_path(self, key: str) -> pathlib.Path:
+        # Keys contain "/" (file_id/index); hash them for a flat namespace.
+        return self._refs / f"{digest_bytes(key.encode('utf-8'))}.json"
+
+    @staticmethod
+    def _write_atomic(path: pathlib.Path, data: bytes) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=".tmp-")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(data)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # ------------------------------------------------------------------
+    # store operations
+    # ------------------------------------------------------------------
+
+    def put(self, key: str, blob: bytes) -> str:
+        """Store ``blob`` under ``key``; returns its SHA-256 content address.
+
+        Identical content is written once; re-putting a key repoints its
+        ref (functional repair replaces a piece's content).
+        """
+        digest = digest_bytes(blob)
+        object_path = self._object_path(digest)
+        if not object_path.exists():
+            self._write_atomic(object_path, blob)
+        ref = json.dumps({"key": key, "digest": digest}).encode("utf-8")
+        self._write_atomic(self._ref_path(key), ref)
+        return digest
+
+    def get(self, key: str) -> bytes:
+        """Read the piece stored under ``key``, verifying its digest.
+
+        Raises ``KeyError`` when the key is unknown and
+        :class:`BlockCorruptionError` when the object bytes no longer
+        hash to their recorded content address.
+        """
+        ref_path = self._ref_path(key)
+        try:
+            ref = json.loads(ref_path.read_text())
+        except FileNotFoundError:
+            raise KeyError(key) from None
+        digest = ref["digest"]
+        try:
+            blob = self._object_path(digest).read_bytes()
+        except FileNotFoundError:
+            raise KeyError(key) from None
+        if digest_bytes(blob) != digest:
+            raise BlockCorruptionError(
+                f"object for key {key!r} fails its SHA-256 check "
+                f"(expected {digest[:12]}...)"
+            )
+        return blob
+
+    def digest(self, key: str) -> str:
+        """The recorded content address of ``key`` (no data read)."""
+        try:
+            return json.loads(self._ref_path(key).read_text())["digest"]
+        except FileNotFoundError:
+            raise KeyError(key) from None
+
+    def __contains__(self, key: str) -> bool:
+        return self._ref_path(key).exists()
+
+    def delete(self, key: str) -> None:
+        """Drop the ref for ``key`` (objects are left for other refs)."""
+        try:
+            self._ref_path(key).unlink()
+        except FileNotFoundError:
+            raise KeyError(key) from None
+
+    def keys(self) -> list[str]:
+        """All keys with a live ref, sorted."""
+        found = []
+        for path in self._refs.glob("*.json"):
+            try:
+                found.append(json.loads(path.read_text())["key"])
+            except (OSError, ValueError, KeyError):
+                continue
+        return sorted(found)
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self._refs.glob("*.json"))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"BlockStore(root={str(self.root)!r}, pieces={len(self)})"

@@ -1,0 +1,194 @@
+"""The peer client: timeouts, retries, and typed request helpers.
+
+One :class:`PeerClient` talks to one daemon.  Every request opens a
+fresh connection, which keeps retry semantics simple (no half-dead
+persistent streams) and matches the paper's workload: life-cycle
+operations are rare, bulky transfers, not chatty RPC.
+
+Failure handling distinguishes *transport* failures from *application*
+failures:
+
+- connect/read timeouts, refused connections, and resets are retried
+  with exponential backoff (``backoff * 2^attempt``, capped), then
+  surface as :class:`PeerUnavailableError` -- the caller should treat
+  the peer as dead and substitute another helper;
+- a well-formed ERROR response raises :class:`RemoteError` immediately:
+  the peer is alive and retrying won't change its answer.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+
+from repro.gf.field import GaloisField
+from repro.net.errors import PeerUnavailableError, ProtocolError, RemoteError
+from repro.net.protocol import (
+    Error,
+    FragmentData,
+    GetPiece,
+    GetRows,
+    Message,
+    Ok,
+    PieceData,
+    Ping,
+    RepairRead,
+    Rows,
+    StorePiece,
+    read_message,
+    write_message,
+)
+
+__all__ = ["PeerClient", "RetryPolicy"]
+
+
+class RetryPolicy:
+    """Exponential-backoff schedule for transport failures."""
+
+    def __init__(
+        self,
+        retries: int = 3,
+        backoff: float = 0.05,
+        backoff_cap: float = 2.0,
+    ):
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        self.retries = retries
+        self.backoff = backoff
+        self.backoff_cap = backoff_cap
+
+    def delay(self, attempt: int) -> float:
+        """Seconds to sleep before retry number ``attempt`` (0-based)."""
+        return min(self.backoff * (2.0 ** attempt), self.backoff_cap)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RetryPolicy(retries={self.retries}, backoff={self.backoff}, "
+            f"cap={self.backoff_cap})"
+        )
+
+
+class PeerClient:
+    """Typed requests against one peer daemon at ``(host, port)``."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        connect_timeout: float = 5.0,
+        read_timeout: float = 30.0,
+        retry: RetryPolicy | None = None,
+    ):
+        self.host = host
+        self.port = port
+        self.connect_timeout = connect_timeout
+        self.read_timeout = read_timeout
+        self.retry = retry if retry is not None else RetryPolicy()
+        #: Transport attempts that failed and were retried (monitoring).
+        self.transport_failures = 0
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return (self.host, self.port)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PeerClient({self.host}:{self.port})"
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+
+    async def _request_once(self, message: Message) -> Message:
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(self.host, self.port),
+            timeout=self.connect_timeout,
+        )
+        try:
+            await write_message(writer, message)
+            return await asyncio.wait_for(
+                read_message(reader), timeout=self.read_timeout
+            )
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def request(self, message: Message) -> Message:
+        """Send one request, retrying transport failures with backoff."""
+        last: Exception | None = None
+        for attempt in range(self.retry.retries + 1):
+            try:
+                response = await self._request_once(message)
+            except (
+                OSError,
+                asyncio.TimeoutError,
+                asyncio.IncompleteReadError,
+            ) as exc:
+                self.transport_failures += 1
+                last = exc
+                if attempt < self.retry.retries:
+                    await asyncio.sleep(self.retry.delay(attempt))
+                continue
+            if isinstance(response, Error):
+                raise RemoteError(response.code, response.message)
+            return response
+        raise PeerUnavailableError(
+            f"peer {self.host}:{self.port} unreachable after "
+            f"{self.retry.retries + 1} attempts: {last!r}"
+        ) from last
+
+    async def _expect(self, message: Message, response_type: type) -> Message:
+        response = await self.request(message)
+        if not isinstance(response, response_type):
+            raise ProtocolError(
+                f"expected {response_type.__name__}, peer sent "
+                f"{type(response).__name__}"
+            )
+        return response
+
+    # ------------------------------------------------------------------
+    # typed requests
+    # ------------------------------------------------------------------
+
+    async def ping(self) -> bool:
+        """Liveness probe; returns True or raises PeerUnavailableError."""
+        await self._expect(Ping(), Ok)
+        return True
+
+    async def is_alive(self) -> bool:
+        """Like :meth:`ping` but returns False instead of raising."""
+        try:
+            return await self.ping()
+        except PeerUnavailableError:
+            return False
+
+    async def store_piece(self, key: str, blob: bytes) -> None:
+        """Upload a serialized piece to the peer's blockstore."""
+        await self._expect(StorePiece(key=key, blob=blob), Ok)
+
+    async def get_piece(self, key: str) -> bytes:
+        """Download the full serialized piece stored under ``key``."""
+        response = await self._expect(GetPiece(key=key), PieceData)
+        return response.blob
+
+    async def get_coefficients(self, key: str) -> bytes:
+        """Download only the coefficient rows (reconstruction phase 1)."""
+        response = await self._expect(
+            GetPiece(key=key, coeffs_only=True), PieceData
+        )
+        return response.blob
+
+    async def get_rows(self, key: str, rows, field: GaloisField) -> np.ndarray:
+        """Download the selected data fragments (reconstruction phase 2)."""
+        response = await self._expect(
+            GetRows(key=key, rows=tuple(int(row) for row in rows)), Rows
+        )
+        return response.to_matrix(field)
+
+    async def repair_read(self, key: str) -> bytes:
+        """Ask the peer for one helper-side coded fragment (fig. 2a)."""
+        response = await self._expect(RepairRead(key=key), FragmentData)
+        return response.blob

@@ -1,0 +1,252 @@
+"""The peer daemon: one storage peer serving its blockstore over TCP.
+
+A :class:`PeerDaemon` is the networked analogue of the simulator's
+:class:`repro.p2p.peer.Peer`: it holds pieces and answers the life-cycle
+requests of :mod:`repro.net.protocol`.  Two properties carry over from
+the paper's system model:
+
+- **Helper-side encoding.**  REPAIR_READ computes the participant's
+  random linear combination *on the daemon* (fig. 2a), so a repair
+  downloads one coded fragment per helper instead of the helper's whole
+  piece -- the entire point of Regenerating Codes, now enforced by the
+  protocol rather than simulated.
+- **Link contention.**  A per-daemon semaphore bounds concurrently
+  serviced requests, which is the simulator's link-contention model
+  (``SimulationConfig.model_link_contention``) made real: a peer's
+  uplink serves a bounded number of transfers at a time and everything
+  else queues.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+
+import numpy as np
+
+from repro.core.blocks import Fragment, Piece
+from repro.core.serialization import (
+    SerializationError,
+    fragment_to_bytes,
+    piece_from_bytes,
+    piece_to_bytes,
+)
+from repro.net.blockstore import BlockCorruptionError, BlockStore
+from repro.net.errors import ProtocolError
+from repro.net.protocol import (
+    Error,
+    ErrorCode,
+    FragmentData,
+    GetPiece,
+    GetRows,
+    Message,
+    Ok,
+    PieceData,
+    Ping,
+    RepairRead,
+    Rows,
+    StorePiece,
+    read_message,
+    write_message,
+)
+
+__all__ = ["PeerDaemon"]
+
+logger = logging.getLogger(__name__)
+
+
+class PeerDaemon:
+    """An asyncio TCP server exposing one blockstore to the swarm.
+
+    Parameters
+    ----------
+    store:
+        The on-disk piece store this peer serves.
+    host, port:
+        Bind address; ``port=0`` picks an ephemeral port (read the
+        chosen one from :attr:`port` after :meth:`start`).
+    max_concurrent:
+        Requests serviced simultaneously; further requests queue on the
+        connection (the real-world link-contention bound).
+    rng:
+        Randomness for helper-side repair combinations.  Defaults to an
+        OS-seeded generator; pass a seeded one for reproducible tests.
+    """
+
+    def __init__(
+        self,
+        store: BlockStore,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_concurrent: int = 8,
+        rng: np.random.Generator | None = None,
+    ):
+        if max_concurrent < 1:
+            raise ValueError(f"max_concurrent must be >= 1, got {max_concurrent}")
+        self.store = store
+        self.host = host
+        self.port = port
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self._semaphore = asyncio.Semaphore(max_concurrent)
+        self._server: asyncio.base_events.Server | None = None
+        #: Requests served since start, by message type name (monitoring).
+        self.requests_served: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind and start accepting connections (returns immediately)."""
+        if self._server is not None:
+            raise RuntimeError("daemon already started")
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        logger.info("peer daemon listening on %s:%d", self.host, self.port)
+
+    async def stop(self) -> None:
+        """Stop accepting and close the listening socket."""
+        if self._server is None:
+            return
+        self._server.close()
+        await self._server.wait_closed()
+        self._server = None
+        logger.info("peer daemon on %s:%d stopped", self.host, self.port)
+
+    async def serve_forever(self) -> None:
+        """Start (if needed) and block until cancelled -- CLI entry point."""
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The (host, port) peers dial; valid after :meth:`start`."""
+        return (self.host, self.port)
+
+    @property
+    def running(self) -> bool:
+        return self._server is not None
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        peername = writer.get_extra_info("peername")
+        try:
+            while True:
+                try:
+                    request = await read_message(reader)
+                except asyncio.IncompleteReadError:
+                    break  # clean EOF between frames
+                except ProtocolError as exc:
+                    await write_message(
+                        writer, Error(code=int(ErrorCode.BAD_REQUEST), message=str(exc))
+                    )
+                    break  # framing is lost; drop the connection
+                async with self._semaphore:
+                    response = self._dispatch(request)
+                await write_message(writer, response)
+        except (ConnectionResetError, BrokenPipeError):
+            logger.debug("connection from %s reset", peername)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    def _count(self, request: Message) -> None:
+        name = type(request).__name__
+        self.requests_served[name] = self.requests_served.get(name, 0) + 1
+
+    def _dispatch(self, request: Message) -> Message:
+        self._count(request)
+        try:
+            if isinstance(request, Ping):
+                return Ok()
+            if isinstance(request, StorePiece):
+                return self._store_piece(request)
+            if isinstance(request, GetPiece):
+                return self._get_piece(request)
+            if isinstance(request, GetRows):
+                return self._get_rows(request)
+            if isinstance(request, RepairRead):
+                return self._repair_read(request)
+            return Error(
+                code=int(ErrorCode.BAD_REQUEST),
+                message=f"unexpected request type {type(request).__name__}",
+            )
+        except KeyError as exc:
+            return Error(
+                code=int(ErrorCode.NOT_FOUND), message=f"no piece stored: {exc}"
+            )
+        except BlockCorruptionError as exc:
+            return Error(code=int(ErrorCode.CORRUPT), message=str(exc))
+        except SerializationError as exc:
+            return Error(code=int(ErrorCode.CORRUPT), message=str(exc))
+        except Exception as exc:  # noqa: BLE001 - daemon must not die on a request
+            logger.exception("request failed")
+            return Error(code=int(ErrorCode.INTERNAL), message=repr(exc))
+
+    # ------------------------------------------------------------------
+    # request handlers
+    # ------------------------------------------------------------------
+
+    def _store_piece(self, request: StorePiece) -> Message:
+        # Parse before storing: a piece that fails its CRC32 (format v2)
+        # is rejected at ingress, not discovered at repair time.
+        piece_from_bytes(request.blob)
+        self.store.put(request.key, request.blob)
+        return Ok()
+
+    def _load_piece(self, key: str) -> tuple[Piece, object]:
+        return piece_from_bytes(self.store.get(key))
+
+    def _get_piece(self, request: GetPiece) -> Message:
+        blob = self.store.get(request.key)
+        if not request.coeffs_only:
+            return PieceData(blob=blob)
+        piece, field = piece_from_bytes(blob)
+        # Re-serialize with zero-width data rows: the paper's phase-1
+        # download is the (n_piece, n_file) coefficient matrix alone.
+        coeffs_only = Piece(
+            index=piece.index,
+            data=piece.data[:, :0],
+            coefficients=piece.coefficients,
+        )
+        return PieceData(blob=piece_to_bytes(coeffs_only, field))
+
+    def _get_rows(self, request: GetRows) -> Message:
+        piece, field = self._load_piece(request.key)
+        for row in request.rows:
+            if row >= piece.n_piece:
+                return Error(
+                    code=int(ErrorCode.BAD_REQUEST),
+                    message=f"row {row} out of range (piece has {piece.n_piece})",
+                )
+        matrix = piece.data[list(request.rows), :]
+        return Rows.from_matrix(field, matrix)
+
+    def _repair_read(self, request: RepairRead) -> Message:
+        """The participant phase of maintenance, computed server-side.
+
+        Mirrors
+        :meth:`repro.core.regenerating.RandomLinearRegeneratingCode.participant_contribution`
+        without needing the code parameters: everything required is in
+        the stored piece itself.
+        """
+        piece, field = self._load_piece(request.key)
+        mixing = field.random(piece.n_piece, self.rng)
+        fragment = Fragment(
+            data=field.linear_combination(mixing, piece.data),
+            coefficients=field.linear_combination(mixing, piece.coefficients),
+        )
+        return FragmentData(blob=fragment_to_bytes(fragment, field))

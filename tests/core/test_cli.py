@@ -124,18 +124,18 @@ class TestInfoAndAdvise:
         assert "min repair" in out
         assert "balanced" in out
 
-    def test_missing_manifest_field_fails(self, tmp_path, source_file):
+    def test_missing_manifest_field_fails(self, tmp_path, source_file, capsys):
         out_dir = encode(tmp_path, source_file)
         manifest_path = out_dir / "manifest.json"
         manifest = json.loads(manifest_path.read_text())
         del manifest["d"]
         manifest_path.write_text(json.dumps(manifest))
-        with pytest.raises(SystemExit):
-            main([
-                "decode", str(next(iter(out_dir.glob("piece_*.rgc")))),
-                "--manifest", str(manifest_path),
-                "--out", str(tmp_path / "y.bin"),
-            ])
+        assert main([
+            "decode", str(next(iter(out_dir.glob("piece_*.rgc")))),
+            "--manifest", str(manifest_path),
+            "--out", str(tmp_path / "y.bin"),
+        ]) == 1
+        assert "missing the 'd' field" in capsys.readouterr().err
 
 
 class TestExport:
@@ -214,3 +214,78 @@ class TestChunkedCLI:
             "--out", str(tmp_path / "r.bin"),
         ]) == 1
         assert "need 4" in capsys.readouterr().err
+
+
+class TestCorruptPieceFiles:
+    """Truncated or corrupt piece files must exit 1 with a clear message."""
+
+    def test_decode_with_truncated_piece_exits_nonzero(
+        self, tmp_path, source_file, capsys
+    ):
+        out_dir = encode(tmp_path, source_file)
+        pieces = sorted(str(path) for path in out_dir.glob("piece_*.rgc"))[:4]
+        victim = out_dir / "piece_000.rgc"
+        victim.write_bytes(victim.read_bytes()[:40])  # truncate mid-body
+        restored = tmp_path / "restored.bin"
+        assert main([
+            "decode", *pieces,
+            "--manifest", str(out_dir / "manifest.json"),
+            "--out", str(restored),
+        ]) == 1
+        err = capsys.readouterr().err
+        assert "piece_000.rgc" in err and "invalid piece file" in err
+        assert not restored.exists()
+
+    def test_decode_with_corrupt_piece_exits_nonzero(
+        self, tmp_path, source_file, capsys
+    ):
+        out_dir = encode(tmp_path, source_file)
+        pieces = sorted(str(path) for path in out_dir.glob("piece_*.rgc"))[:4]
+        victim = out_dir / "piece_001.rgc"
+        blob = bytearray(victim.read_bytes())
+        blob[-1] ^= 0xFF  # silent bit rot in the payload
+        victim.write_bytes(bytes(blob))
+        assert main([
+            "decode", *pieces,
+            "--manifest", str(out_dir / "manifest.json"),
+            "--out", str(tmp_path / "restored.bin"),
+        ]) == 1
+        err = capsys.readouterr().err
+        assert "checksum" in err
+
+    def test_repair_with_corrupt_piece_exits_nonzero(
+        self, tmp_path, source_file, capsys
+    ):
+        out_dir = encode(tmp_path, source_file)
+        pieces = sorted(str(path) for path in out_dir.glob("piece_*.rgc"))
+        victim = out_dir / "piece_002.rgc"
+        blob = bytearray(victim.read_bytes())
+        blob[30] ^= 0x01
+        victim.write_bytes(bytes(blob))
+        assert main([
+            "repair", *pieces,
+            "--manifest", str(out_dir / "manifest.json"),
+            "--lost", "3", "--out", str(tmp_path / "new.rgc"),
+        ]) == 1
+        assert "checksum" in capsys.readouterr().err
+
+    def test_missing_piece_file_exits_nonzero(self, tmp_path, source_file, capsys):
+        out_dir = encode(tmp_path, source_file)
+        pieces = sorted(str(path) for path in out_dir.glob("piece_*.rgc"))[:3]
+        pieces.append(str(out_dir / "piece_999.rgc"))  # never existed
+        assert main([
+            "decode", *pieces,
+            "--manifest", str(out_dir / "manifest.json"),
+            "--out", str(tmp_path / "restored.bin"),
+        ]) == 1
+        assert "cannot read piece file" in capsys.readouterr().err
+
+    def test_missing_manifest_exits_nonzero(self, tmp_path, source_file, capsys):
+        out_dir = encode(tmp_path, source_file)
+        pieces = sorted(str(path) for path in out_dir.glob("piece_*.rgc"))[:4]
+        assert main([
+            "decode", *pieces,
+            "--manifest", str(tmp_path / "nope.json"),
+            "--out", str(tmp_path / "restored.bin"),
+        ]) == 1
+        assert "does not exist" in capsys.readouterr().err

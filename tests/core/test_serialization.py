@@ -9,6 +9,7 @@ from repro.core.params import RCParams
 from repro.core.regenerating import RandomLinearRegeneratingCode
 from repro.core.serialization import (
     FORMAT_VERSION,
+    HEADER_SIZE,
     MAGIC,
     SerializationError,
     fragment_from_bytes,
@@ -44,8 +45,8 @@ class TestPieceRoundtrip:
     def test_blob_size_matches_storage_accounting(self, code, encoded):
         piece = encoded.pieces[0]
         blob = piece_to_bytes(piece, code.field)
-        header = 24  # 4s + 4 x u8 + 4 x u32, packed little-endian
-        assert len(blob) == header + piece.storage_bytes(code.field)
+        assert HEADER_SIZE == 28  # 4s + 4 x u8 + 4 x u32 + crc32, little-endian
+        assert len(blob) == HEADER_SIZE + piece.storage_bytes(code.field)
 
     def test_deserialized_pieces_decode(self, code, encoded, sample_data):
         blobs = [piece_to_bytes(piece, code.field) for piece in encoded.pieces[:4]]
@@ -75,7 +76,7 @@ class TestFragmentRoundtrip:
     def test_blob_size_matches_wire_accounting(self, code, encoded):
         fragment = code.participant_contribution(encoded.pieces[0])
         blob = fragment_to_bytes(fragment, code.field)
-        assert len(blob) == 24 + fragment.wire_bytes(code.field)
+        assert len(blob) == HEADER_SIZE + fragment.wire_bytes(code.field)
 
     def test_deserialized_uploads_repair(self, code, encoded, sample_data):
         blobs = [
@@ -130,6 +131,52 @@ class TestMalformedInput:
 
     def test_magic_constant(self):
         assert MAGIC == b"RGC1"
+
+    def test_corrupted_payload_fails_checksum(self, code, encoded):
+        blob = bytearray(self._blob(code, encoded))
+        blob[-1] ^= 0xFF  # flip one payload byte, sizes stay consistent
+        with pytest.raises(SerializationError, match="checksum"):
+            piece_from_bytes(bytes(blob))
+
+    def test_corrupted_coefficients_fail_checksum(self, code, encoded):
+        blob = bytearray(self._blob(code, encoded))
+        blob[HEADER_SIZE] ^= 0x01  # first coefficient byte
+        with pytest.raises(SerializationError, match="checksum"):
+            piece_from_bytes(bytes(blob))
+
+
+class TestVersion1Compatibility:
+    """Version-1 blobs (no CRC field) must keep parsing."""
+
+    @staticmethod
+    def _downgrade(blob: bytes) -> bytes:
+        """Rewrite a current-format blob as its version-1 equivalent."""
+        import struct
+
+        fields = struct.Struct("<4sBBBBIIIII").unpack_from(blob)
+        header_v1 = struct.Struct("<4sBBBBIIII").pack(fields[0], 1, *fields[2:9])
+        return header_v1 + blob[28:]
+
+    def test_v1_piece_roundtrip(self, code, encoded):
+        piece = encoded.pieces[0]
+        v1_blob = self._downgrade(piece_to_bytes(piece, code.field))
+        restored, field = piece_from_bytes(v1_blob)
+        assert field == code.field
+        assert np.all(restored.data == piece.data)
+        assert np.all(restored.coefficients == piece.coefficients)
+
+    def test_v1_fragment_roundtrip(self, code, encoded):
+        fragment = code.participant_contribution(encoded.pieces[0])
+        v1_blob = self._downgrade(fragment_to_bytes(fragment, code.field))
+        restored, _ = fragment_from_bytes(v1_blob)
+        assert np.all(restored.data == fragment.data)
+
+    def test_v1_corruption_goes_undetected(self, code, encoded):
+        """Documents why v2 exists: v1 has no checksum to catch bit rot."""
+        v1_blob = bytearray(self._downgrade(piece_to_bytes(encoded.pieces[0], code.field)))
+        v1_blob[-1] ^= 0xFF
+        restored, _ = piece_from_bytes(bytes(v1_blob))  # parses fine...
+        assert not np.all(restored.data == encoded.pieces[0].data)  # ...silently wrong
 
 
 class TestPropertyBased:

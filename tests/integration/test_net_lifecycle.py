@@ -1,0 +1,200 @@
+"""End-to-end life cycle over real TCP: insert -> peer loss -> repair ->
+reconstruct, on a localhost cluster of PeerDaemons.
+
+This is the networked twin of test_lifecycle.py: the same insertion /
+maintenance / reconstruction story from the paper, but every byte moves
+through the repro.net wire protocol instead of in-process calls.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.core.params import RCParams
+from repro.net import (
+    Coordinator,
+    LocalCluster,
+    NetRepairError,
+    RetryPolicy,
+)
+
+pytestmark = pytest.mark.net
+
+PARAMS = RCParams(8, 8, 10, 1)  # 16 pieces, d = 10 helpers per repair
+
+
+def payload(size, seed=0):
+    return bytes(np.random.default_rng(seed).integers(0, 256, size, dtype=np.uint8))
+
+
+def make_coordinator(seed=7):
+    return Coordinator(
+        PARAMS,
+        rng=np.random.default_rng(seed),
+        retry=RetryPolicy(retries=1, backoff=0.01),
+    )
+
+
+class TestFullLifecycle:
+    def test_insert_loss_repair_reconstruct(self, tmp_path):
+        """The acceptance scenario: a cluster of 8 daemons carries a file
+        through the full life cycle and returns it byte-identical."""
+        data = payload(30_000, seed=42)
+
+        async def scenario():
+            async with LocalCluster(8, tmp_path, seed=3) as cluster:
+                coordinator = make_coordinator()
+
+                # Insert: 16 pieces scattered round-robin over 8 peers.
+                stats = await coordinator.insert(
+                    data, cluster.addresses, file_id="backup-1"
+                )
+                manifest = stats.manifest
+                assert stats.peers_used == 8
+                assert stats.peers_skipped == 0
+                assert sorted(manifest.pieces) == list(range(16))
+
+                # Peer loss: kill daemon 0 and regenerate one piece it
+                # held onto a freshly spawned newcomer.
+                lost_address = await cluster.kill(0)
+                lost_index = min(
+                    index
+                    for index, location in manifest.pieces.items()
+                    if location == lost_address
+                )
+                newcomer = await cluster.spawn()
+                repair = await coordinator.repair(manifest, lost_index, newcomer)
+                assert manifest.pieces[lost_index] == newcomer
+                assert len(repair.helpers) == PARAMS.d
+                # Helpers are piece holders; the lost piece cannot help.
+                assert lost_index not in repair.helpers
+                assert repair.payload_bytes > 0
+
+                # Reconstruct while peer 0 is still down, going through
+                # the regenerated piece's host as needed.
+                restored, stats = await coordinator.reconstruct(manifest)
+                return restored, stats
+
+        restored, stats = asyncio.run(scenario())
+        assert restored == data
+        # Coefficient-first optimization (section 4.3): exactly n_file
+        # data fragments cross the wire, never whole pieces.
+        assert stats.fragments_downloaded == PARAMS.n_file
+
+    def test_repaired_file_survives_k_piece_decode(self, tmp_path):
+        """After repair, the regenerated piece is a full citizen: decode
+        from a subset that includes it."""
+        data = payload(9_000, seed=5)
+
+        async def scenario():
+            async with LocalCluster(8, tmp_path, seed=11) as cluster:
+                coordinator = make_coordinator(seed=13)
+                stats = await coordinator.insert(
+                    data, cluster.addresses, file_id="f"
+                )
+                manifest = stats.manifest
+
+                lost_address = await cluster.kill(2)
+                lost = [
+                    index
+                    for index, location in manifest.pieces.items()
+                    if location == lost_address
+                ]
+                newcomer = await cluster.spawn()
+                for index in lost:
+                    await coordinator.repair(manifest, index, newcomer)
+                restored, _ = await coordinator.reconstruct(manifest)
+                return restored
+
+        assert asyncio.run(scenario()) == data
+
+
+class TestRepairUnderFailure:
+    def test_dead_helper_is_substituted(self, tmp_path):
+        """Kill a daemon that holds a piece among the first d candidates:
+        repair must swap in a substitute helper and still succeed."""
+        data = payload(12_000, seed=8)
+
+        async def scenario():
+            async with LocalCluster(9, tmp_path, seed=21) as cluster:
+                coordinator = make_coordinator(seed=23)
+                stats = await coordinator.insert(
+                    data, cluster.addresses, file_id="f"
+                )
+                manifest = stats.manifest
+
+                # Piece 15's repair selects helper pieces 0..9 (sorted,
+                # excluding the lost index).  Kill the daemon holding
+                # piece 1 so a first-round helper fails mid-repair.
+                lost_index = 15
+                saboteur = manifest.pieces[1]
+                dead_pieces = {
+                    index
+                    for index, location in manifest.pieces.items()
+                    if location == saboteur
+                }
+                await cluster.kill(cluster.addresses.index(saboteur))
+
+                newcomer = await cluster.spawn()
+                repair = await coordinator.repair(manifest, lost_index, newcomer)
+
+                # The dead helper was noticed and replaced.
+                assert 1 in repair.helpers_failed
+                assert len(repair.helpers) == PARAMS.d
+                assert not dead_pieces & set(repair.helpers)
+
+                # The file still reconstructs, avoiding the dead peer.
+                for index in dead_pieces:
+                    del manifest.pieces[index]
+                restored, _ = await coordinator.reconstruct(manifest)
+                return restored
+
+        assert asyncio.run(scenario()) == data
+
+    def test_repair_fails_below_d_helpers(self, tmp_path):
+        """With fewer than d candidate pieces left, repair raises the
+        typed error instead of limping along -- the durability boundary."""
+
+        async def scenario():
+            async with LocalCluster(4, tmp_path, seed=31) as cluster:
+                coordinator = make_coordinator(seed=33)
+                stats = await coordinator.insert(
+                    payload(4_000, seed=1), cluster.addresses, file_id="f"
+                )
+                manifest = stats.manifest
+                # Forget all but d - 1 = 9 pieces (plus the lost one).
+                for index in range(PARAMS.d - 1, 15):
+                    del manifest.pieces[index]
+                newcomer = await cluster.spawn()
+                with pytest.raises(NetRepairError, match="needs d=10"):
+                    await coordinator.repair(manifest, 15, newcomer)
+
+        asyncio.run(scenario())
+
+    def test_reconstruct_skips_dead_pieces(self, tmp_path):
+        """Reconstruction tops up its coefficient set when some of the
+        first k piece holders are gone."""
+        data = payload(6_000, seed=17)
+
+        async def scenario():
+            async with LocalCluster(8, tmp_path, seed=41) as cluster:
+                coordinator = make_coordinator(seed=43)
+                stats = await coordinator.insert(
+                    data, cluster.addresses, file_id="f"
+                )
+                manifest = stats.manifest
+                # Kill the daemons holding pieces 0 and 1 -- both are in
+                # the first k candidates that reconstruction probes.
+                numbers = {
+                    cluster.address_of(n): n for n in range(len(cluster))
+                }
+                doomed = {manifest.pieces[0], manifest.pieces[1]}
+                for address in doomed:
+                    await cluster.kill(numbers[address])
+                restored, stats = await coordinator.reconstruct(manifest)
+                return restored, stats
+
+        restored, stats = asyncio.run(scenario())
+        assert restored == data
+        assert stats.fragments_downloaded == PARAMS.n_file

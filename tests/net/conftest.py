@@ -1,0 +1,24 @@
+"""Fixtures for the networked-subsystem tests.
+
+Everything under tests/net/ opens real localhost sockets; the whole
+directory is auto-marked ``net`` so socket-less environments can
+deselect it with ``pytest -m "not net"``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_configure(config):
+    # Keep `pytest tests/net` runnable from any rootdir, even one whose
+    # ini file does not declare the marker.
+    config.addinivalue_line(
+        "markers", 'net: opens real localhost TCP sockets (deselect with -m "not net")'
+    )
+
+
+def pytest_collection_modifyitems(items):
+    for item in items:
+        if "tests/net" in str(item.fspath).replace("\\", "/"):
+            item.add_marker(pytest.mark.net)

@@ -1,0 +1,203 @@
+"""PeerDaemon request handling over a real socket."""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.core.params import RCParams
+from repro.core.regenerating import RandomLinearRegeneratingCode
+from repro.core.serialization import (
+    fragment_from_bytes,
+    piece_from_bytes,
+    piece_to_bytes,
+)
+from repro.net.blockstore import BlockStore
+from repro.net.client import PeerClient, RetryPolicy
+from repro.net.errors import RemoteError
+from repro.net.protocol import ErrorCode
+from repro.net.server import PeerDaemon
+
+PARAMS = RCParams(4, 4, 6, 2)
+
+
+@pytest.fixture()
+def code():
+    return RandomLinearRegeneratingCode(PARAMS, rng=np.random.default_rng(11))
+
+
+@pytest.fixture()
+def encoded(code, sample_data):
+    return code.insert(sample_data)
+
+
+def with_daemon(tmp_path, scenario, **daemon_kwargs):
+    """Run ``scenario(daemon, client)`` against a live daemon."""
+
+    async def runner():
+        daemon = PeerDaemon(
+            BlockStore(tmp_path / "store"),
+            rng=np.random.default_rng(42),
+            **daemon_kwargs,
+        )
+        await daemon.start()
+        try:
+            client = PeerClient(
+                *daemon.address, retry=RetryPolicy(retries=1, backoff=0.01)
+            )
+            return await scenario(daemon, client)
+        finally:
+            await daemon.stop()
+
+    return asyncio.run(runner())
+
+
+class TestRequests:
+    def test_ping(self, tmp_path):
+        async def scenario(daemon, client):
+            assert await client.ping() is True
+            assert daemon.requests_served == {"Ping": 1}
+
+        with_daemon(tmp_path, scenario)
+
+    def test_store_then_get_roundtrip(self, tmp_path, code, encoded):
+        blob = piece_to_bytes(encoded.pieces[0], code.field)
+
+        async def scenario(daemon, client):
+            await client.store_piece("f/0", blob)
+            assert await client.get_piece("f/0") == blob
+
+        with_daemon(tmp_path, scenario)
+
+    def test_get_missing_piece_is_not_found(self, tmp_path):
+        async def scenario(daemon, client):
+            with pytest.raises(RemoteError) as excinfo:
+                await client.get_piece("no/such")
+            assert excinfo.value.code == int(ErrorCode.NOT_FOUND)
+
+        with_daemon(tmp_path, scenario)
+
+    def test_store_rejects_corrupt_piece_at_ingress(self, tmp_path, code, encoded):
+        blob = bytearray(piece_to_bytes(encoded.pieces[0], code.field))
+        blob[-1] ^= 0xFF  # fails the format-v2 CRC32
+
+        async def scenario(daemon, client):
+            with pytest.raises(RemoteError) as excinfo:
+                await client.store_piece("f/0", bytes(blob))
+            assert excinfo.value.code == int(ErrorCode.CORRUPT)
+            assert "f/0" not in daemon.store
+
+        with_daemon(tmp_path, scenario)
+
+    def test_corrupt_disk_object_reported_corrupt(self, tmp_path, code, encoded):
+        blob = piece_to_bytes(encoded.pieces[0], code.field)
+
+        async def scenario(daemon, client):
+            await client.store_piece("f/0", blob)
+            path = daemon.store._object_path(daemon.store.digest("f/0"))
+            rotted = bytearray(path.read_bytes())
+            rotted[40] ^= 0x01
+            path.write_bytes(bytes(rotted))
+            with pytest.raises(RemoteError) as excinfo:
+                await client.get_piece("f/0")
+            assert excinfo.value.code == int(ErrorCode.CORRUPT)
+
+        with_daemon(tmp_path, scenario)
+
+    def test_coeffs_only_download(self, tmp_path, code, encoded):
+        piece = encoded.pieces[2]
+        blob = piece_to_bytes(piece, code.field)
+
+        async def scenario(daemon, client):
+            await client.store_piece("f/2", blob)
+            coeff_blob = await client.get_coefficients("f/2")
+            slim, field = piece_from_bytes(coeff_blob)
+            assert field == code.field
+            assert slim.fragment_length == 0  # no data rows shipped
+            assert np.all(slim.coefficients == piece.coefficients)
+            assert len(coeff_blob) < len(blob) / 2
+
+        with_daemon(tmp_path, scenario)
+
+    def test_get_rows_returns_selected_fragments(self, tmp_path, code, encoded):
+        piece = encoded.pieces[1]
+
+        async def scenario(daemon, client):
+            await client.store_piece("f/1", piece_to_bytes(piece, code.field))
+            matrix = await client.get_rows("f/1", [2, 0], code.field)
+            assert matrix.shape == (2, piece.fragment_length)
+            assert np.all(matrix[0] == piece.data[2])  # requested order kept
+            assert np.all(matrix[1] == piece.data[0])
+
+        with_daemon(tmp_path, scenario)
+
+    def test_get_rows_out_of_range_is_bad_request(self, tmp_path, code, encoded):
+        async def scenario(daemon, client):
+            await client.store_piece(
+                "f/0", piece_to_bytes(encoded.pieces[0], code.field)
+            )
+            with pytest.raises(RemoteError) as excinfo:
+                await client.get_rows("f/0", [99], code.field)
+            assert excinfo.value.code == int(ErrorCode.BAD_REQUEST)
+
+        with_daemon(tmp_path, scenario)
+
+    def test_repair_read_is_a_valid_combination(self, tmp_path, code, encoded):
+        """The helper-side fragment must lie in the piece's row space:
+        its coefficient vector and data must be consistent with some
+        mixing of the stored fragments."""
+        piece = encoded.pieces[3]
+
+        async def scenario(daemon, client):
+            await client.store_piece("f/3", piece_to_bytes(piece, code.field))
+            return [
+                fragment_from_bytes(await client.repair_read("f/3"))[0]
+                for _ in range(3)
+            ]
+
+        fragments = with_daemon(tmp_path, scenario)
+        for fragment in fragments:
+            assert fragment.n_file == PARAMS.n_file
+            assert fragment.length == piece.fragment_length
+        # Distinct random combinations (overwhelmingly likely).
+        assert not np.all(fragments[0].data == fragments[1].data)
+
+    def test_repair_read_fragments_actually_repair(
+        self, tmp_path, code, encoded, sample_data
+    ):
+        async def scenario(daemon, client):
+            for position in range(PARAMS.d):
+                piece = encoded.pieces[position]
+                await client.store_piece(
+                    f"f/{position}", piece_to_bytes(piece, code.field)
+                )
+            return [
+                fragment_from_bytes(await client.repair_read(f"f/{position}"))[0]
+                for position in range(PARAMS.d)
+            ]
+
+        uploads = with_daemon(tmp_path, scenario)
+        regenerated = code.newcomer_repair(uploads, index=7)
+        healed = encoded.replace_piece(7, regenerated)
+        assert code.reconstruct(healed.subset([7, 0, 1, 2]), len(sample_data)) == sample_data
+
+
+class TestConcurrencyBound:
+    def test_semaphore_serializes_requests(self, tmp_path, code, encoded):
+        """With max_concurrent=1 parallel requests still all succeed --
+        they queue instead of racing."""
+        blob = piece_to_bytes(encoded.pieces[0], code.field)
+
+        async def scenario(daemon, client):
+            await client.store_piece("f/0", blob)
+            results = await asyncio.gather(
+                *(client.get_piece("f/0") for _ in range(10))
+            )
+            return results
+
+        results = with_daemon(tmp_path, scenario, max_concurrent=1)
+        assert all(result == blob for result in results)
+
+    def test_invalid_bound_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            PeerDaemon(BlockStore(tmp_path / "s"), max_concurrent=0)

@@ -1,0 +1,146 @@
+"""Framing round-trip and malformed-frame tests for the wire protocol."""
+
+import asyncio
+import struct
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gf.field import GF
+from repro.net.errors import ProtocolError
+from repro.net.protocol import (
+    FLAG_COEFFS_ONLY,
+    MAX_BODY_BYTES,
+    PROTOCOL_MAGIC,
+    PROTOCOL_VERSION,
+    Error,
+    ErrorCode,
+    FragmentData,
+    GetPiece,
+    GetRows,
+    Ok,
+    PieceData,
+    Ping,
+    RepairRead,
+    Rows,
+    StorePiece,
+    decode_message,
+    encode_message,
+    read_message,
+)
+
+ALL_MESSAGES = [
+    Ping(),
+    Ok(),
+    Error(code=int(ErrorCode.NOT_FOUND), message="no piece stored: 'f/3'"),
+    StorePiece(key="file-1/7", blob=b"\x01\x02\x03piece bytes"),
+    GetPiece(key="file-1/7"),
+    GetPiece(key="file-1/7", coeffs_only=True),
+    PieceData(blob=b"serialized piece"),
+    GetRows(key="file-1/7", rows=(0, 3, 5)),
+    Rows(q=16, data=b"\x01\x00\x02\x00", n_rows=2, l_frag=1),
+    RepairRead(key="file-1/7"),
+    FragmentData(blob=b"serialized fragment"),
+]
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize(
+        "message", ALL_MESSAGES, ids=lambda m: type(m).__name__ + str(m.flags)
+    )
+    def test_encode_decode_roundtrip(self, message):
+        frame = encode_message(message)
+        decoded, consumed = decode_message(frame)
+        assert consumed == len(frame)
+        assert decoded == message
+
+    def test_back_to_back_frames(self):
+        stream = encode_message(Ping()) + encode_message(GetPiece(key="a/0"))
+        first, consumed = decode_message(stream)
+        second, rest = decode_message(stream[consumed:])
+        assert first == Ping()
+        assert second == GetPiece(key="a/0")
+        assert consumed + rest == len(stream)
+
+    def test_coeffs_only_travels_in_flags(self):
+        frame = encode_message(GetPiece(key="x", coeffs_only=True))
+        assert frame[6] == FLAG_COEFFS_ONLY  # flags byte of the header
+
+    def test_async_reader_roundtrip(self):
+        async def run():
+            reader = asyncio.StreamReader()
+            for message in ALL_MESSAGES:
+                reader.feed_data(encode_message(message))
+            reader.feed_eof()
+            return [await read_message(reader) for _ in ALL_MESSAGES]
+
+        received = asyncio.run(run())
+        assert received == ALL_MESSAGES
+
+    def test_rows_matrix_roundtrip(self):
+        field = GF(16)
+        matrix = field.asarray(
+            np.array([[1, 2, 3], [4, 5, 60000]], dtype=np.uint16)
+        )
+        message = Rows.from_matrix(field, matrix)
+        decoded, _ = decode_message(encode_message(message))
+        assert np.all(decoded.to_matrix(field) == matrix)
+
+
+class TestMalformed:
+    def test_bad_magic(self):
+        frame = bytearray(encode_message(Ping()))
+        frame[0] = ord("X")
+        with pytest.raises(ProtocolError, match="magic"):
+            decode_message(bytes(frame))
+
+    def test_bad_version(self):
+        frame = bytearray(encode_message(Ping()))
+        frame[4] = PROTOCOL_VERSION + 1
+        with pytest.raises(ProtocolError, match="version"):
+            decode_message(bytes(frame))
+
+    def test_unknown_message_type(self):
+        frame = bytearray(encode_message(Ping()))
+        frame[5] = 200
+        with pytest.raises(ProtocolError, match="unknown message type"):
+            decode_message(bytes(frame))
+
+    def test_truncated_header(self):
+        with pytest.raises(ProtocolError, match="header"):
+            decode_message(PROTOCOL_MAGIC + b"\x01")
+
+    def test_truncated_body(self):
+        frame = encode_message(StorePiece(key="k", blob=b"payload"))
+        with pytest.raises(ProtocolError, match="truncated"):
+            decode_message(frame[:-2])
+
+    def test_oversized_length_prefix_rejected_before_alloc(self):
+        header = struct.pack(
+            "<4sBBBBI", PROTOCOL_MAGIC, PROTOCOL_VERSION, 1, 0, 0, MAX_BODY_BYTES + 1
+        )
+        with pytest.raises(ProtocolError, match="exceeds"):
+            decode_message(header)
+
+    def test_body_on_bodyless_message(self):
+        frame = struct.pack(
+            "<4sBBBBI", PROTOCOL_MAGIC, PROTOCOL_VERSION, 1, 0, 0, 3
+        ) + b"abc"
+        with pytest.raises(ProtocolError, match="no body"):
+            decode_message(frame)
+
+    def test_get_rows_row_list_mismatch(self):
+        good = encode_message(GetRows(key="k", rows=(1, 2)))
+        with pytest.raises(ProtocolError):
+            decode_message(good[:-4])  # drop one row entry
+
+    @given(st.binary(min_size=12, max_size=64))
+    @settings(max_examples=60, deadline=None)
+    def test_random_bytes_never_crash(self, blob):
+        """Garbage in -> ProtocolError out, never another exception."""
+        try:
+            decode_message(blob)
+        except ProtocolError:
+            pass
