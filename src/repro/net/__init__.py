@@ -14,7 +14,9 @@ insertion, maintenance, and reconstruction against live peers.
   exponential-backoff retry;
 - :mod:`repro.net.coordinator` -- insert / repair / reconstruct with
   dead-helper substitution and coefficient-first downloads;
-- :mod:`repro.net.cluster` -- :class:`LocalCluster` for tests & demos.
+- :mod:`repro.net.cluster` -- :class:`LocalCluster` for tests & demos;
+- :mod:`repro.net.faults` -- seeded deterministic fault injection
+  (:class:`FaultPlan`) wired through daemons, clients, and clusters.
 """
 
 from repro.net.blockstore import BlockStore
@@ -29,6 +31,7 @@ from repro.net.coordinator import (
     RepairStats,
 )
 from repro.net.errors import (
+    InsufficientPeersError,
     NetError,
     NetReconstructError,
     NetRepairError,
@@ -36,12 +39,18 @@ from repro.net.errors import (
     ProtocolError,
     RemoteError,
 )
+from repro.net.faults import FaultEvent, FaultKind, FaultPlan, FaultRule
 from repro.net.server import PeerDaemon
 
 __all__ = [
     "BlockStore",
     "Coordinator",
+    "FaultEvent",
+    "FaultKind",
+    "FaultPlan",
+    "FaultRule",
     "InsertStats",
+    "InsufficientPeersError",
     "LocalCluster",
     "NetError",
     "NetManifest",

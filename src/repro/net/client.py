@@ -9,9 +9,11 @@ Failure handling distinguishes *transport* failures from *application*
 failures:
 
 - connect/read timeouts, refused connections, and resets are retried
-  with exponential backoff (``backoff * 2^attempt``, capped), then
-  surface as :class:`PeerUnavailableError` -- the caller should treat
-  the peer as dead and substitute another helper;
+  with exponential backoff (``backoff * 2^attempt``, capped, minus a
+  seeded random jitter so a crowd of clients hammered by the same
+  outage does not retry in lockstep), then surface as
+  :class:`PeerUnavailableError` -- the caller should treat the peer as
+  dead and substitute another helper;
 - a well-formed ERROR response raises :class:`RemoteError` immediately:
   the peer is alive and retrying won't change its answer.
 """
@@ -19,11 +21,13 @@ failures:
 from __future__ import annotations
 
 import asyncio
+import random
 
 import numpy as np
 
 from repro.gf.field import GaloisField
 from repro.net.errors import PeerUnavailableError, ProtocolError, RemoteError
+from repro.net.faults import FaultKind, FaultPlan
 from repro.net.protocol import (
     Error,
     FragmentData,
@@ -36,6 +40,8 @@ from repro.net.protocol import (
     RepairRead,
     Rows,
     StorePiece,
+    encode_message,
+    operation_name,
     read_message,
     write_message,
 )
@@ -44,28 +50,45 @@ __all__ = ["PeerClient", "RetryPolicy"]
 
 
 class RetryPolicy:
-    """Exponential-backoff schedule for transport failures."""
+    """Exponential-backoff schedule for transport failures.
+
+    ``jitter`` shaves up to that fraction off each delay, drawn from a
+    seeded ``random.Random`` -- two policies with different seeds (or
+    the default OS seeding) produce different schedules, which is what
+    keeps simultaneous retriers from synchronizing on a recovering peer
+    (the classic thundering-herd failure mode).  Set ``jitter=0.0`` for
+    an exact, deterministic schedule.
+    """
 
     def __init__(
         self,
         retries: int = 3,
         backoff: float = 0.05,
         backoff_cap: float = 2.0,
+        jitter: float = 0.25,
+        seed: int | None = None,
     ):
         if retries < 0:
             raise ValueError(f"retries must be >= 0, got {retries}")
+        if not 0.0 <= jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {jitter}")
         self.retries = retries
         self.backoff = backoff
         self.backoff_cap = backoff_cap
+        self.jitter = jitter
+        self._rng = random.Random(seed)
 
     def delay(self, attempt: int) -> float:
         """Seconds to sleep before retry number ``attempt`` (0-based)."""
-        return min(self.backoff * (2.0 ** attempt), self.backoff_cap)
+        base = min(self.backoff * (2.0 ** attempt), self.backoff_cap)
+        if self.jitter == 0.0:
+            return base
+        return base * (1.0 - self.jitter * self._rng.random())
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"RetryPolicy(retries={self.retries}, backoff={self.backoff}, "
-            f"cap={self.backoff_cap})"
+            f"cap={self.backoff_cap}, jitter={self.jitter})"
         )
 
 
@@ -79,12 +102,16 @@ class PeerClient:
         connect_timeout: float = 5.0,
         read_timeout: float = 30.0,
         retry: RetryPolicy | None = None,
+        fault_plan: FaultPlan | None = None,
+        fault_scope: str | None = None,
     ):
         self.host = host
         self.port = port
         self.connect_timeout = connect_timeout
         self.read_timeout = read_timeout
         self.retry = retry if retry is not None else RetryPolicy()
+        self.fault_plan = fault_plan
+        self.fault_scope = fault_scope
         #: Transport attempts that failed and were retried (monitoring).
         self.transport_failures = 0
 
@@ -100,12 +127,38 @@ class PeerClient:
     # ------------------------------------------------------------------
 
     async def _request_once(self, message: Message) -> Message:
+        event = None
+        if self.fault_plan is not None:
+            event = self.fault_plan.decide(
+                operation_name(message),
+                getattr(message, "key", ""),
+                side="client",
+                scope=self.fault_scope,
+            )
+        if event is not None and event.kind is FaultKind.DROP:
+            # The network ate the request before it left the host.
+            raise ConnectionResetError("fault injection: client connection dropped")
+        if event is not None and event.kind is FaultKind.DELAY:
+            await asyncio.sleep(self.fault_plan.rule(event).delay)
         reader, writer = await asyncio.wait_for(
             asyncio.open_connection(self.host, self.port),
             timeout=self.connect_timeout,
         )
         try:
-            await write_message(writer, message)
+            if event is not None and event.kind is FaultKind.CORRUPT:
+                writer.write(
+                    self.fault_plan.corrupt_frame(encode_message(message), event)
+                )
+                await writer.drain()
+            elif event is not None and event.kind is FaultKind.TRUNCATE:
+                # Send a prefix, then EOF: the daemon sees a cut frame.
+                writer.write(
+                    self.fault_plan.truncate_frame(encode_message(message), event)
+                )
+                await writer.drain()
+                writer.write_eof()
+            else:
+                await write_message(writer, message)
             return await asyncio.wait_for(
                 read_message(reader), timeout=self.read_timeout
             )

@@ -26,13 +26,20 @@ import numpy as np
 
 from repro.net.blockstore import BlockStore
 from repro.net.coordinator import PeerAddress
+from repro.net.faults import FaultPlan
 from repro.net.server import PeerDaemon
 
 __all__ = ["LocalCluster"]
 
 
 class LocalCluster:
-    """N peer daemons on localhost, one blockstore directory each."""
+    """N peer daemons on localhost, one blockstore directory each.
+
+    Pass a :class:`repro.net.faults.FaultPlan` to run the cluster under
+    a reproducible failure schedule: every daemon consults the shared
+    plan, identifying itself to scoped rules as ``"peerNN"`` (the number
+    is stable across kills and restarts, unlike the ephemeral port).
+    """
 
     def __init__(
         self,
@@ -40,12 +47,14 @@ class LocalCluster:
         root,
         max_concurrent: int = 8,
         seed: int | None = None,
+        fault_plan: FaultPlan | None = None,
     ):
         if peers < 1:
             raise ValueError(f"a cluster needs at least one peer, got {peers}")
         self.root = pathlib.Path(root)
         self.max_concurrent = max_concurrent
         self._seed = seed
+        self.fault_plan = fault_plan
         self.daemons: list[PeerDaemon] = [
             self._make_daemon(number) for number in range(peers)
         ]
@@ -58,7 +67,11 @@ class LocalCluster:
             else np.random.default_rng()
         )
         return PeerDaemon(
-            store, max_concurrent=self.max_concurrent, rng=rng
+            store,
+            max_concurrent=self.max_concurrent,
+            rng=rng,
+            fault_plan=self.fault_plan,
+            fault_scope=f"peer{number:02d}",
         )
 
     # ------------------------------------------------------------------

@@ -37,6 +37,7 @@ from repro.core.params import RCParams
 from repro.core.regenerating import DecodingError, RandomLinearRegeneratingCode
 from repro.core.blocks import Piece
 from repro.core.serialization import (
+    SerializationError,
     fragment_from_bytes,
     piece_from_bytes,
     piece_to_bytes,
@@ -45,11 +46,26 @@ from repro.gf import linalg
 from repro.gf.field import GF
 from repro.net.client import PeerClient, RetryPolicy
 from repro.net.errors import (
+    InsufficientPeersError,
     NetError,
     NetReconstructError,
     NetRepairError,
     PeerUnavailableError,
+    ProtocolError,
     RemoteError,
+)
+from repro.net.faults import FaultPlan
+
+#: A peer answered, but what it said is unusable: a typed ERROR reply, a
+#: response that does not parse, or a payload failing its integrity
+#: check.  In every life-cycle operation the right reaction is the same
+#: as for a dead peer -- substitute another piece holder -- because a
+#: peer sending garbage is as lost as one sending nothing.
+PEER_FAILURES = (
+    PeerUnavailableError,
+    RemoteError,
+    ProtocolError,
+    SerializationError,
 )
 
 __all__ = [
@@ -206,6 +222,7 @@ class Coordinator:
         connect_timeout: float = 5.0,
         read_timeout: float = 30.0,
         retry: RetryPolicy | None = None,
+        fault_plan: FaultPlan | None = None,
     ):
         self.code = RandomLinearRegeneratingCode(
             params, field=field if field is not None else GF(16), rng=rng
@@ -213,6 +230,9 @@ class Coordinator:
         self.connect_timeout = connect_timeout
         self.read_timeout = read_timeout
         self.retry = retry if retry is not None else RetryPolicy()
+        #: Optional fault plan handed to every client this coordinator
+        #: opens (client-side injection; daemons hold their own hook).
+        self.fault_plan = fault_plan
 
     @classmethod
     def from_manifest(
@@ -236,6 +256,7 @@ class Coordinator:
             connect_timeout=self.connect_timeout,
             read_timeout=self.read_timeout,
             retry=self.retry,
+            fault_plan=self.fault_plan,
         )
 
     # ------------------------------------------------------------------
@@ -247,12 +268,14 @@ class Coordinator:
     ) -> InsertStats:
         """Encode ``data`` and scatter the k + h pieces over ``peers``.
 
-        Pieces are placed round-robin; a dead peer is skipped and the
-        piece moves on to the next candidate.  Raises :class:`NetError`
-        when a piece cannot be placed anywhere.
+        Pieces are placed round-robin; a peer that is dead (or rejects
+        the upload) is skipped and the piece moves on to the next
+        candidate.  Raises :class:`InsufficientPeersError` -- with the
+        partial placement attached for cleanup -- when any piece cannot
+        be placed anywhere.
         """
         if not peers:
-            raise NetError("insertion needs at least one peer")
+            raise InsufficientPeersError("insertion needs at least one peer")
         encoded = self.code.insert(data)
         manifest = NetManifest(
             file_id=file_id,
@@ -265,7 +288,7 @@ class Coordinator:
         )
         dead: set[PeerAddress] = set()
 
-        async def place(piece) -> tuple[int, PeerAddress, int]:
+        async def place(piece) -> tuple[int, PeerAddress, int] | None:
             blob = piece_to_bytes(piece, self.field)
             for step in range(len(peers)):
                 location = peers[(piece.index + step) % len(peers)]
@@ -278,18 +301,36 @@ class Coordinator:
                     return piece.index, location, len(blob)
                 except PeerUnavailableError:
                     dead.add(location)
-            raise NetError(
-                f"piece {piece.index}: no live peer accepted it "
-                f"({len(dead)}/{len(peers)} peers dead)"
-            )
+                except (RemoteError, ProtocolError):
+                    # The peer is alive but would not take this upload
+                    # (e.g. the blob was mangled in transit and failed
+                    # ingress CRC).  Try the next peer; do not blacklist.
+                    continue
+            return None  # homeless: reported collectively below
 
         placements = await asyncio.gather(
             *(place(piece) for piece in encoded.pieces)
         )
         uploaded = 0
-        for index, location, nbytes in placements:
+        unplaced = []
+        for piece, placement in zip(encoded.pieces, placements):
+            if placement is None:
+                unplaced.append(piece.index)
+                continue
+            index, location, nbytes = placement
             manifest.pieces[index] = location
             uploaded += nbytes
+        if unplaced:
+            # Every placement task has settled by now: no dangling
+            # uploads, and the partial placement is in the exception so
+            # the caller can clean up or retry the missing pieces.
+            raise InsufficientPeersError(
+                f"pieces {unplaced} found no live peer "
+                f"({len(dead)}/{len(peers)} peers dead); "
+                f"{len(manifest.pieces)} of {len(encoded.pieces)} pieces placed",
+                placed=manifest.pieces,
+                unplaced=unplaced,
+            )
         used = {location for location in manifest.pieces.values()}
         return InsertStats(
             manifest=manifest,
@@ -310,11 +351,12 @@ class Coordinator:
     ) -> RepairStats:
         """Regenerate piece ``lost_index`` onto ``newcomer``.
 
-        Contacts ``d`` helpers concurrently; a helper that is dead (or
-        whose piece is corrupt) is replaced by the next surviving piece
-        holder.  Fails with :class:`NetRepairError` once fewer than
-        ``d`` candidates remain -- the durability boundary of the code.
-        Updates ``manifest`` in place on success.
+        Contacts ``d`` helpers concurrently; a helper that is dead,
+        holds a corrupt piece, or uploads a fragment that fails to parse
+        is replaced by the next surviving piece holder.  Fails with
+        :class:`NetRepairError` once fewer than ``d`` candidates remain
+        -- the durability boundary of the code.  Updates ``manifest`` in
+        place on success.
         """
         d = self.params.d
         candidates = [
@@ -330,9 +372,18 @@ class Coordinator:
 
         async def contribute(index: int, location: PeerAddress):
             blob = await self.client(location).repair_read(manifest.key(index))
-            return index, blob
+            # Parse here so a fragment mangled on the wire (CRC failure,
+            # cut frame reassembled wrong) fails *this* helper and gets
+            # substituted, instead of aborting the whole repair.
+            fragment, field = fragment_from_bytes(blob)
+            if field != self.field:
+                raise SerializationError(
+                    f"helper {index} sent a fragment over {field}, "
+                    f"expected {self.field}"
+                )
+            return index, fragment
 
-        fragments: list[tuple[int, bytes]] = []
+        fragments: list[tuple[int, object]] = []
         failed: list[int] = []
         selected, remaining = candidates[:d], candidates[d:]
         while selected:
@@ -341,7 +392,7 @@ class Coordinator:
                 return_exceptions=True,
             )
             for (index, _), outcome in zip(selected, outcomes):
-                if isinstance(outcome, (PeerUnavailableError, RemoteError)):
+                if isinstance(outcome, PEER_FAILURES):
                     failed.append(index)
                 elif isinstance(outcome, BaseException):
                     raise outcome
@@ -359,7 +410,7 @@ class Coordinator:
             selected, remaining = remaining[:missing], remaining[missing:]
 
         helpers = tuple(index for index, _ in fragments)
-        uploads = [fragment_from_bytes(blob)[0] for _, blob in fragments]
+        uploads = [fragment for _, fragment in fragments]
         payload = sum(fragment.data_bytes(self.field) for fragment in uploads)
         coefficients = sum(
             fragment.coefficient_bytes(self.field) for fragment in uploads
@@ -391,10 +442,12 @@ class Coordinator:
         """Download and decode the file, fetching exactly n_file fragments.
 
         Phase 1 pulls coefficient matrices (piece blobs with zero-width
-        data) from k pieces -- more if some are dead or the stacked
-        matrix is rank-deficient.  Phase 2 pulls only the planned
-        ``n_file`` data rows.  A piece that dies between the phases is
-        dropped and the plan recomputed from the survivors.
+        data) from k pieces -- more if some are dead, fail verification,
+        or leave the stacked matrix rank-deficient.  Phase 2 pulls only
+        the planned ``n_file`` data rows.  A piece that dies (or starts
+        returning garbage) between the phases is dropped and the plan
+        recomputed from the survivors -- the mirror image of repair's
+        dead-helper substitution.
         """
         candidates = list(sorted(manifest.pieces.items()))
         probed = 0
@@ -425,8 +478,8 @@ class Coordinator:
                     return_exceptions=True,
                 )
                 for outcome in outcomes:
-                    if isinstance(outcome, (PeerUnavailableError, RemoteError)):
-                        continue  # dead peer or corrupt piece: skip it
+                    if isinstance(outcome, PEER_FAILURES):
+                        continue  # dead, corrupt, or garbled peer: skip it
                     if isinstance(outcome, BaseException):
                         raise outcome
                     index, location, piece, nbytes = outcome
@@ -469,7 +522,7 @@ class Coordinator:
             lost_positions = []
             matrices: dict[int, np.ndarray] = {}
             for outcome in outcomes:
-                if isinstance(outcome, (PeerUnavailableError, RemoteError)):
+                if isinstance(outcome, PEER_FAILURES):
                     continue
                 if isinstance(outcome, BaseException):
                     raise outcome

@@ -10,6 +10,8 @@ The split mirrors where a failure is detected:
   message (missing piece, corrupt blockstore object, bad request);
 - :class:`PeerUnavailableError` -- the peer could not be reached at all
   after the client's retry budget (dead daemon, timeout);
+- :class:`InsufficientPeersError` -- an insertion could not place every
+  piece on a live peer;
 - :class:`NetRepairError` / :class:`NetReconstructError` -- a life-cycle
   operation ran out of live helpers / decodable pieces.
 """
@@ -21,6 +23,7 @@ __all__ = [
     "ProtocolError",
     "RemoteError",
     "PeerUnavailableError",
+    "InsufficientPeersError",
     "NetRepairError",
     "NetReconstructError",
 ]
@@ -51,6 +54,19 @@ class RemoteError(NetError):
 
 class PeerUnavailableError(NetError):
     """A peer stayed unreachable through the whole retry schedule."""
+
+
+class InsufficientPeersError(NetError):
+    """Not every piece of an insertion found a live peer.
+
+    ``placed`` maps piece index -> the address that accepted it (useful
+    for cleanup); ``unplaced`` lists the piece indices left homeless.
+    """
+
+    def __init__(self, message: str, placed=None, unplaced=()):
+        super().__init__(message)
+        self.placed = dict(placed or {})
+        self.unplaced = tuple(unplaced)
 
 
 class NetRepairError(NetError):

@@ -79,6 +79,7 @@ __all__ = [
     "decode_message",
     "read_message",
     "write_message",
+    "operation_name",
 ]
 
 PROTOCOL_MAGIC = b"RGNP"
@@ -396,6 +397,21 @@ def decode_message(data: bytes) -> tuple[Message, int]:
     if len(data) < end:
         raise ProtocolError(f"frame truncated: need {end} bytes, got {len(data)}")
     return cls.decode_body(data[_FRAME.size : end], flags), end
+
+
+def operation_name(message: Message) -> str:
+    """Snake-case name of a message type (``StorePiece`` -> ``store_piece``).
+
+    This is the operation label fault-injection rules and monitoring
+    counters key on.
+    """
+    name = type(message).__name__
+    parts = []
+    for char in name:
+        if char.isupper() and parts:
+            parts.append("_")
+        parts.append(char.lower())
+    return "".join(parts)
 
 
 async def read_message(reader: asyncio.StreamReader) -> Message:

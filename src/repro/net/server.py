@@ -33,6 +33,7 @@ from repro.core.serialization import (
 )
 from repro.net.blockstore import BlockCorruptionError, BlockStore
 from repro.net.errors import ProtocolError
+from repro.net.faults import FaultEvent, FaultKind, FaultPlan
 from repro.net.protocol import (
     Error,
     ErrorCode,
@@ -46,6 +47,8 @@ from repro.net.protocol import (
     RepairRead,
     Rows,
     StorePiece,
+    encode_message,
+    operation_name,
     read_message,
     write_message,
 )
@@ -71,6 +74,13 @@ class PeerDaemon:
     rng:
         Randomness for helper-side repair combinations.  Defaults to an
         OS-seeded generator; pass a seeded one for reproducible tests.
+    fault_plan:
+        Optional :class:`repro.net.faults.FaultPlan`; every request is
+        offered to the plan, which may drop, delay, truncate, or corrupt
+        the response -- or crash the daemon outright.
+    fault_scope:
+        Label identifying this daemon to scoped fault rules (a
+        :class:`LocalCluster` sets ``"peerNN"``).
     """
 
     def __init__(
@@ -80,6 +90,8 @@ class PeerDaemon:
         port: int = 0,
         max_concurrent: int = 8,
         rng: np.random.Generator | None = None,
+        fault_plan: FaultPlan | None = None,
+        fault_scope: str | None = None,
     ):
         if max_concurrent < 1:
             raise ValueError(f"max_concurrent must be >= 1, got {max_concurrent}")
@@ -87,10 +99,15 @@ class PeerDaemon:
         self.host = host
         self.port = port
         self.rng = rng if rng is not None else np.random.default_rng()
+        self.fault_plan = fault_plan
+        self.fault_scope = fault_scope
         self._semaphore = asyncio.Semaphore(max_concurrent)
         self._server: asyncio.base_events.Server | None = None
+        self._connections: set[asyncio.StreamWriter] = set()
         #: Requests served since start, by message type name (monitoring).
         self.requests_served: dict[str, int] = {}
+        #: Faults this daemon applied, by kind value (monitoring).
+        self.faults_applied: dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -132,14 +149,43 @@ class PeerDaemon:
     def running(self) -> bool:
         return self._server is not None
 
+    def crash(self) -> None:
+        """Simulate a hard crash: stop listening, sever every connection.
+
+        Unlike :meth:`stop`, in-flight requests get no answer -- their
+        connections are cut mid-exchange.  The blockstore directory
+        survives, so the daemon can be restarted like any crashed peer.
+        """
+        if self._server is not None:
+            self._server.close()
+            self._server = None
+            logger.info("peer daemon on %s:%d crashed", self.host, self.port)
+        for writer in list(self._connections):
+            writer.close()
+
     # ------------------------------------------------------------------
     # connection handling
     # ------------------------------------------------------------------
+
+    def _decide_fault(self, request: Message) -> FaultEvent | None:
+        if self.fault_plan is None:
+            return None
+        event = self.fault_plan.decide(
+            operation_name(request),
+            getattr(request, "key", ""),
+            side="server",
+            scope=self.fault_scope,
+        )
+        if event is not None:
+            kind = event.kind.value
+            self.faults_applied[kind] = self.faults_applied.get(kind, 0) + 1
+        return event
 
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         peername = writer.get_extra_info("peername")
+        self._connections.add(writer)
         try:
             while True:
                 try:
@@ -151,12 +197,37 @@ class PeerDaemon:
                         writer, Error(code=int(ErrorCode.BAD_REQUEST), message=str(exc))
                     )
                     break  # framing is lost; drop the connection
+                event = self._decide_fault(request)
+                if event is not None and event.kind is FaultKind.CRASH:
+                    self.crash()
+                    break
+                if event is not None and event.kind is FaultKind.DROP:
+                    break  # sever without answering
+                if event is not None and event.kind is FaultKind.DELAY:
+                    # Stall outside the semaphore: a slow peer must not
+                    # block its healthy transfers.
+                    await asyncio.sleep(self.fault_plan.rule(event).delay)
                 async with self._semaphore:
                     response = self._dispatch(request)
+                if event is not None and event.kind is FaultKind.TRUNCATE:
+                    frame = self.fault_plan.truncate_frame(
+                        encode_message(response), event
+                    )
+                    writer.write(frame)
+                    await writer.drain()
+                    break  # the rest of the frame is never coming
+                if event is not None and event.kind is FaultKind.CORRUPT:
+                    frame = self.fault_plan.corrupt_frame(
+                        encode_message(response), event
+                    )
+                    writer.write(frame)
+                    await writer.drain()
+                    continue
                 await write_message(writer, response)
         except (ConnectionResetError, BrokenPipeError):
             logger.debug("connection from %s reset", peername)
         finally:
+            self._connections.discard(writer)
             writer.close()
             try:
                 await writer.wait_closed()

@@ -6,10 +6,27 @@ paper-claims tests scale up where the assertion needs it.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.gf.field import GF
+
+try:
+    from hypothesis import settings as _hypothesis_settings
+
+    # "ci" prints the reproduction blob on failure so a red CI run can be
+    # replayed locally (select with HYPOTHESIS_PROFILE=ci).
+    _hypothesis_settings.register_profile("default", deadline=None)
+    _hypothesis_settings.register_profile(
+        "ci", deadline=None, print_blob=True, max_examples=100
+    )
+    _hypothesis_settings.load_profile(
+        os.environ.get("HYPOTHESIS_PROFILE", "default")
+    )
+except ImportError:  # pragma: no cover - property tests skip themselves
+    pass
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,76 @@
+"""Regenerate the golden serialization fixtures in this directory.
+
+Run from the repo root::
+
+    PYTHONPATH=src python tests/data/make_golden.py
+
+The outputs are *format* fixtures: they pin the on-disk/on-wire bytes of
+the piece and fragment formats so that a refactor of
+``repro.core.serialization`` cannot silently change what peers exchange.
+Regenerating them is only legitimate when the format version is bumped
+on purpose -- tests/core/test_serialization_compat.py is the gatekeeper.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.core.blocks import Fragment, Piece
+from repro.core.serialization import (
+    _HEADER_V1,
+    _KIND_PIECE,
+    MAGIC,
+    fragment_to_bytes,
+    piece_to_bytes,
+)
+from repro.gf.field import GF
+
+HERE = pathlib.Path(__file__).parent
+
+
+def canonical_piece():
+    """A small fixed piece over the paper's GF(2^16): index 7, two
+    fragments of four elements, coefficients over three originals."""
+    field = GF(16)
+    piece = Piece(
+        index=7,
+        coefficients=field.asarray([[1, 2, 3], [4, 5, 6]]),
+        data=field.asarray([[10, 20, 30, 40], [50, 60, 0, 65535]]),
+    )
+    return piece, field
+
+
+def canonical_fragment():
+    field = GF(16)
+    fragment = Fragment(
+        data=field.asarray([7, 8, 9]),
+        coefficients=field.asarray([11, 0, 13]),
+    )
+    return fragment, field
+
+
+def piece_v1_bytes() -> bytes:
+    """The canonical piece in format v1: same body, no CRC32 field."""
+    piece, field = canonical_piece()
+    v2 = piece_to_bytes(piece, field)
+    body = v2[_HEADER_V1.size + 4 :]  # strip the v2 header's crc32 u32
+    n_rows, n_file = piece.coefficients.shape
+    header = _HEADER_V1.pack(
+        MAGIC, 1, _KIND_PIECE, field.q, 0, piece.index, n_rows, n_file,
+        piece.data.shape[1],
+    )
+    return header + body
+
+
+def main() -> None:
+    piece, field = canonical_piece()
+    fragment, _ = canonical_fragment()
+    (HERE / "piece_v1.bin").write_bytes(piece_v1_bytes())
+    (HERE / "piece_v2.bin").write_bytes(piece_to_bytes(piece, field))
+    (HERE / "fragment_v2.bin").write_bytes(fragment_to_bytes(fragment, field))
+    for name in ("piece_v1.bin", "piece_v2.bin", "fragment_v2.bin"):
+        print(f"wrote {name}: {len((HERE / name).read_bytes())} bytes")
+
+
+if __name__ == "__main__":
+    main()

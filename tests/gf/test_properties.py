@@ -1,0 +1,133 @@
+"""Property-based coverage of GF(2^q) arithmetic and linear algebra.
+
+The networked life cycle leans on two algebraic guarantees: the field
+axioms (every repair combination is a linear map that must be exactly
+invertible) and the solve/invert round-trips of :mod:`repro.gf.linalg`
+(reconstruction *is* one big matrix inversion).  Hypothesis checks both
+over arbitrary elements and matrices instead of a handful of fixtures.
+"""
+
+import numpy as np
+import pytest
+
+pytest.importorskip("hypothesis")
+
+from hypothesis import assume, given, strategies as st
+
+from repro.gf import linalg
+from repro.gf.field import GF
+
+pytestmark = pytest.mark.property
+
+# The paper's field plus the byte field; q=4 is small enough that
+# hypothesis explores a meaningful fraction of it.
+FIELDS = [GF(4), GF(8), GF(16)]
+
+
+def elements(field):
+    return st.integers(min_value=0, max_value=field.order - 1)
+
+
+def matrices(field, n, m):
+    return st.lists(
+        elements(field), min_size=n * m, max_size=n * m
+    ).map(lambda vals: np.asarray(vals, dtype=field.dtype).reshape(n, m))
+
+
+@pytest.mark.parametrize("field", FIELDS, ids=lambda f: f"GF(2^{f.q})")
+class TestFieldAxioms:
+    @given(data=st.data())
+    def test_addition_group(self, field, data):
+        a = data.draw(elements(field))
+        b = data.draw(elements(field))
+        c = data.draw(elements(field))
+        assert field.add(a, b) == field.add(b, a)
+        assert field.add(field.add(a, b), c) == field.add(a, field.add(b, c))
+        assert field.add(a, 0) == a
+        assert field.add(a, a) == 0  # characteristic 2: every element is its own negative
+
+    @given(data=st.data())
+    def test_multiplication_group(self, field, data):
+        a = data.draw(elements(field))
+        b = data.draw(elements(field))
+        c = data.draw(elements(field))
+        assert field.multiply(a, b) == field.multiply(b, a)
+        assert field.multiply(field.multiply(a, b), c) == field.multiply(
+            a, field.multiply(b, c)
+        )
+        assert field.multiply(a, 1) == a
+        assert field.multiply(a, 0) == 0
+
+    @given(data=st.data())
+    def test_multiplicative_inverse(self, field, data):
+        a = data.draw(elements(field).filter(bool))
+        inv = field.inverse_elements(a)
+        assert field.multiply(a, inv) == 1
+
+    @given(data=st.data())
+    def test_distributivity(self, field, data):
+        a = data.draw(elements(field))
+        b = data.draw(elements(field))
+        c = data.draw(elements(field))
+        assert field.multiply(a, field.add(b, c)) == field.add(
+            field.multiply(a, b), field.multiply(a, c)
+        )
+
+    @given(data=st.data())
+    def test_division_inverts_multiplication(self, field, data):
+        a = data.draw(elements(field))
+        b = data.draw(elements(field).filter(bool))
+        assert field.divide(field.multiply(a, b), b) == a
+
+
+@pytest.mark.parametrize("field", FIELDS, ids=lambda f: f"GF(2^{f.q})")
+class TestLinalgRoundTrips:
+    @given(n=st.integers(min_value=1, max_value=5), data=st.data())
+    def test_inverse_roundtrip(self, field, n, data):
+        a = data.draw(matrices(field, n, n))
+        assume(linalg.is_invertible(field, a))
+        inv = linalg.inverse(field, a)
+        eye = field.eye(n)
+        assert (linalg.gf_matmul(field, inv, a) == eye).all()
+        assert (linalg.gf_matmul(field, a, inv) == eye).all()
+        # Inverting twice returns the original matrix.
+        assert (linalg.inverse(field, inv) == a).all()
+
+    @given(n=st.integers(min_value=1, max_value=5), data=st.data())
+    def test_solve_roundtrip(self, field, n, data):
+        a = data.draw(matrices(field, n, n))
+        x = np.asarray(
+            data.draw(st.lists(elements(field), min_size=n, max_size=n)),
+            dtype=field.dtype,
+        )
+        assume(linalg.is_invertible(field, a))
+        b = linalg.gf_matvec(field, a, x)
+        assert (linalg.solve(field, a, b) == x).all()
+
+    @given(n=st.integers(min_value=1, max_value=4), data=st.data())
+    def test_singular_matrices_raise_typed_error(self, field, n, data):
+        a = data.draw(matrices(field, n, n))
+        a[n - 1] = a[0]  # duplicate row: rank < n for n > 1
+        assume(not linalg.is_invertible(field, a))
+        with pytest.raises(linalg.LinAlgError):
+            linalg.inverse(field, a)
+
+    @given(
+        n=st.integers(min_value=1, max_value=4),
+        extra=st.integers(min_value=0, max_value=3),
+        data=st.data(),
+    )
+    def test_extract_and_invert_agrees_with_separate_steps(
+        self, field, n, extra, data
+    ):
+        """The fused extraction+inversion (paper section 4.2) selects the
+        same rows as the scan-order extractor and returns their exact
+        inverse -- the reconstruction planner's core invariant."""
+        tall = data.draw(matrices(field, n + extra, n))
+        assume(linalg.rank(field, tall) == n)
+        selected, inverse = linalg.extract_and_invert(field, tall)
+        assert selected == linalg.extract_independent_rows(field, tall, n)
+        submatrix = tall[selected]
+        assert (
+            linalg.gf_matmul(field, inverse, submatrix) == field.eye(n)
+        ).all()

@@ -9,6 +9,22 @@ from __future__ import annotations
 
 import pytest
 
+from repro.core.blocks import Piece
+from repro.core.serialization import piece_to_bytes
+from repro.gf.field import GF
+
+
+@pytest.fixture()
+def sample_piece():
+    """(serialized v2 blob, Piece) over the paper's GF(2^16)."""
+    field = GF(16)
+    piece = Piece(
+        index=1,
+        data=field.asarray([[1, 2, 3, 4], [5, 6, 7, 8]]),
+        coefficients=field.asarray([[1, 0, 2], [0, 1, 3]]),
+    )
+    return piece_to_bytes(piece, field), piece
+
 
 def pytest_configure(config):
     # Keep `pytest tests/net` runnable from any rootdir, even one whose

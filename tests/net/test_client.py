@@ -162,7 +162,7 @@ class TestRetry:
 
 class TestBackoffSchedule:
     def test_exponential_with_cap(self):
-        policy = RetryPolicy(retries=6, backoff=0.1, backoff_cap=1.0)
+        policy = RetryPolicy(retries=6, backoff=0.1, backoff_cap=1.0, jitter=0.0)
         delays = [policy.delay(attempt) for attempt in range(6)]
         assert delays[:4] == [
             pytest.approx(0.1),
@@ -175,3 +175,34 @@ class TestBackoffSchedule:
     def test_invalid_retries_rejected(self):
         with pytest.raises(ValueError):
             RetryPolicy(retries=-1)
+
+    def test_invalid_jitter_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+
+
+class TestJitter:
+    def test_jitter_stays_within_envelope(self):
+        policy = RetryPolicy(retries=8, backoff=0.1, backoff_cap=1.0, jitter=0.25, seed=1)
+        for attempt in range(8):
+            base = min(0.1 * 2**attempt, 1.0)
+            delay = policy.delay(attempt)
+            assert base * 0.75 <= delay <= base  # shaved, never inflated
+
+    def test_seeded_jitter_is_reproducible(self):
+        schedule = [
+            RetryPolicy(backoff=0.1, jitter=0.25, seed=99).delay(a) for a in range(4)
+        ]
+        again = [
+            RetryPolicy(backoff=0.1, jitter=0.25, seed=99).delay(a) for a in range(4)
+        ]
+        assert schedule == again
+
+    def test_two_clients_do_not_retry_in_lockstep(self):
+        """The point of jitter: clients hitting the same outage spread
+        their retries instead of synchronizing on the recovering peer."""
+        first = RetryPolicy(backoff=0.1, backoff_cap=1.0, jitter=0.25, seed=1)
+        second = RetryPolicy(backoff=0.1, backoff_cap=1.0, jitter=0.25, seed=2)
+        schedule_a = [first.delay(attempt) for attempt in range(4)]
+        schedule_b = [second.delay(attempt) for attempt in range(4)]
+        assert all(a != b for a, b in zip(schedule_a, schedule_b))
