@@ -3,20 +3,36 @@ localhost TCP for the Table-1 sweet spot RC(8,8,10,1).
 
 Unlike the other bench modules (which time the coding primitives
 in-process), this one measures the full repro.net stack: framing,
-content-addressed storage, per-request connections, and the
+content-addressed storage, pooled persistent connections, and the
 coordinator's concurrency.  Localhost numbers are an upper bound -- a
 real deployment adds propagation delay but runs the same code path.
 
 Emits one JSON object per phase (machine-readable, greppable as
 ``NET-THROUGHPUT``) plus a human-readable summary table.
+
+Run as a script to measure what connection pooling buys on a storm of
+small operations (many tiny files, the worst case for per-request
+dialing) and write the comparison to ``BENCH_net_pooling.json``::
+
+    PYTHONPATH=src python benchmarks/bench_net_throughput.py \\
+        --json BENCH_net_pooling.json
 """
 
+import argparse
 import asyncio
 import json
+from pathlib import Path
 
 import numpy as np
+
 import pytest
-from conftest import emit
+
+try:
+    from conftest import emit
+except ImportError:  # script mode from another working directory
+
+    def emit(text: str) -> None:
+        print(text)
 
 from repro.analysis.tables import render_table
 from repro.core.params import RCParams
@@ -107,3 +123,160 @@ def test_net_lifecycle_throughput(benchmark, cluster_root):
     assert set(timings) == {"insert", "repair", "reconstruct"}
     # Repair moves ~|file|/k * d bytes, far less than insertion's 2x|file|.
     assert timings["repair"][1] < timings["insert"][1]
+
+
+# ----------------------------------------------------------------------
+# pooling storm: many tiny operations, pooled vs fresh connections
+# ----------------------------------------------------------------------
+
+#: Small code so each operation is a handful of tiny requests: the
+#: regime where connection setup dominates and pooling matters most.
+STORM_PARAMS = RCParams(2, 2, 3, 1)  # 4 pieces, d = 3 helpers
+STORM_PEERS = 4
+STORM_FILE_BYTES = 1024
+STORM_OPS = 100
+
+
+async def _storm(root, pool_size: int, ops: int, file_bytes: int) -> dict:
+    """Drive ``ops`` piece-level operations (store then fetch of a tiny
+    blob, round-robin over the cluster) through one coordinator's cached
+    clients; returns timing + connection counters.
+
+    Piece stores and fetches are the unit the wire protocol actually
+    moves; at ~1 KiB each, per-request connection setup is the dominant
+    cost, which is exactly what pooling is supposed to erase.
+    """
+    from repro.core.blocks import Piece
+    from repro.core.serialization import piece_to_bytes
+    from repro.gf.field import GF
+
+    field = GF(16)
+    rng = np.random.default_rng(17)
+    symbols = max(1, file_bytes // 4)  # 2 rows of 2-byte symbols
+    blob = piece_to_bytes(
+        Piece(
+            index=1,
+            data=field.asarray(rng.integers(0, 1 << 16, size=(2, symbols))),
+            coefficients=field.asarray(rng.integers(0, 1 << 16, size=(2, 3))),
+        ),
+        field,
+    )
+    async with (
+        LocalCluster(STORM_PEERS, root, seed=9) as cluster,
+        Coordinator(
+            STORM_PARAMS, rng=np.random.default_rng(13), pool_size=pool_size
+        ) as coordinator,
+    ):
+        loop = asyncio.get_running_loop()
+        start = loop.time()
+        performed = 0
+        for number in range(ops // 2):
+            client = coordinator.client(
+                cluster.addresses[number % STORM_PEERS]
+            )
+            key = f"storm/{number}"
+            await client.store_piece(key, blob)
+            performed += 1
+            assert await client.get_piece(key) == blob
+            performed += 1
+        seconds = loop.time() - start
+        transport = coordinator.transport_stats()
+    return {
+        "pool_size": pool_size,
+        "operations": performed,
+        "seconds": round(seconds, 6),
+        "ops_per_second": round(performed / seconds, 2) if seconds else None,
+        **transport,
+    }
+
+
+def _run_storm(root, pool_size: int, ops: int = STORM_OPS,
+               file_bytes: int = STORM_FILE_BYTES) -> dict:
+    return asyncio.run(_storm(root, pool_size, ops, file_bytes))
+
+
+def test_storm_pooling_reuses_connections(cluster_root):
+    """Deterministic contract of the storm (timing left to script mode):
+    pooled transport opens a bounded number of streams and rides them for
+    nearly every request; fresh mode dials per request and reuses none."""
+    pooled = _run_storm(cluster_root / "pooled", pool_size=4, ops=20)
+    fresh = _run_storm(cluster_root / "fresh", pool_size=0, ops=20)
+
+    assert fresh["connections_reused"] == 0
+    assert pooled["connections_reused"] > pooled["connections_opened"]
+    # One coordinator talks to STORM_PEERS daemons with <= pool_size
+    # streams each, no matter how many operations ran.
+    assert pooled["connections_opened"] <= STORM_PEERS * 4
+    assert fresh["connections_opened"] > pooled["connections_opened"]
+    assert pooled["transport_failures"] == 0
+    assert fresh["transport_failures"] == 0
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(
+        description="Pooled vs fresh-connection ops/s on a small-piece storm"
+    )
+    parser.add_argument("--json", type=Path, default=None, metavar="FILE",
+                        help="write the comparison record to FILE")
+    parser.add_argument("--ops", type=int, default=STORM_OPS)
+    parser.add_argument("--pool-size", type=int, default=4,
+                        help="pool size for the pooled run (fresh is always 0)")
+    parser.add_argument("--file-bytes", type=int, default=STORM_FILE_BYTES)
+    parser.add_argument("--rounds", type=int, default=3,
+                        help="rounds per mode; the fastest one is reported")
+    args = parser.parse_args(argv)
+
+    import tempfile
+
+    with tempfile.TemporaryDirectory(prefix="bench_net_pooling_") as scratch:
+        scratch = Path(scratch)
+        # Warm-up round absorbs interpreter/import costs; then the best
+        # of ``rounds`` interleaved runs per mode filters scheduler noise.
+        _run_storm(scratch / "warmup", pool_size=0, ops=10,
+                   file_bytes=args.file_bytes)
+        fresh = pooled = None
+        for number in range(args.rounds):
+            candidate = _run_storm(
+                scratch / f"fresh{number}", pool_size=0, ops=args.ops,
+                file_bytes=args.file_bytes,
+            )
+            if fresh is None or candidate["seconds"] < fresh["seconds"]:
+                fresh = candidate
+            candidate = _run_storm(
+                scratch / f"pooled{number}", pool_size=args.pool_size,
+                ops=args.ops, file_bytes=args.file_bytes,
+            )
+            if pooled is None or candidate["seconds"] < pooled["seconds"]:
+                pooled = candidate
+
+    speedup = pooled["ops_per_second"] / fresh["ops_per_second"]
+    record = {
+        "bench": "net_pooling",
+        "params": {"k": STORM_PARAMS.k, "h": STORM_PARAMS.h,
+                   "d": STORM_PARAMS.d, "i": STORM_PARAMS.i},
+        "peers": STORM_PEERS,
+        "file_bytes": args.file_bytes,
+        "operations": args.ops,
+        "fresh": fresh,
+        "pooled": pooled,
+        "speedup": round(speedup, 3),
+    }
+    emit("NET-POOLING " + json.dumps(record, sort_keys=True))
+    rows = [
+        [mode, f"{run['ops_per_second']:.1f}", f"{run['seconds'] * 1e3:.0f}",
+         f"{run['connections_opened']}", f"{run['connections_reused']}"]
+        for mode, run in (("fresh", fresh), ("pooled", pooled))
+    ]
+    emit(f"\nSmall-piece storm, RC(2,2,3,1), {STORM_PEERS} peers, "
+         f"{args.ops} ops of {args.file_bytes} byte files (localhost TCP)")
+    emit(render_table(
+        ["transport", "ops/s", "ms", "conns opened", "conns reused"], rows
+    ))
+    emit(f"pooling speedup: {speedup:.2f}x")
+    if args.json is not None:
+        args.json.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+        emit(f"wrote {args.json}")
+
+
+if __name__ == "__main__":
+    main()

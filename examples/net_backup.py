@@ -24,9 +24,9 @@ async def run(root: str) -> None:
     data = rng.integers(0, 256, size=48 << 10, dtype=np.uint8).tobytes()
     print(f"code: {params}  file: {len(data)} bytes")
 
-    async with LocalCluster(8, root, seed=7) as cluster:
-        coordinator = Coordinator(params, rng=rng)
-
+    async with LocalCluster(8, root, seed=7) as cluster, Coordinator(
+        params, rng=rng
+    ) as coordinator:
         # --- insertion: scatter k + h = 16 pieces over 8 daemons -------
         insert = await coordinator.insert(data, cluster.addresses, file_id="album")
         manifest = insert.manifest
@@ -57,6 +57,12 @@ async def run(root: str) -> None:
         print(f"  restored correctly: {restored == data}")
         if restored != data:
             raise SystemExit("reconstruction mismatch")
+
+        # --- transport: the whole life cycle rode pooled streams -------
+        transport = coordinator.transport_stats()
+        print(f"\ntransport: {transport['connections_opened']} connections "
+              f"opened, {transport['connections_reused']} pooled reuses, "
+              f"{transport['transport_failures']} transport failures")
 
 
 def main() -> None:

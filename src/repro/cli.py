@@ -342,11 +342,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
     from repro.net.server import PeerDaemon
 
     daemon = PeerDaemon(
-        BlockStore(args.root),
+        BlockStore(args.root, fsync=not args.no_fsync),
         host=args.host,
         port=args.port,
         max_concurrent=args.max_concurrent,
         rng=np.random.default_rng(args.seed),
+        idle_timeout=args.idle_timeout if args.idle_timeout > 0 else None,
     )
 
     async def run() -> None:
@@ -365,10 +366,19 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_net_put(args: argparse.Namespace) -> int:
-    """Encode a file and scatter its pieces over live peer daemons."""
+def _run_net_op(coordinator, coro):
+    """Run one coordinator operation, closing pooled connections after."""
     import asyncio
 
+    async def go():
+        async with coordinator:
+            return await coro
+
+    return asyncio.run(go())
+
+
+def cmd_net_put(args: argparse.Namespace) -> int:
+    """Encode a file and scatter its pieces over live peer daemons."""
     from repro.net.coordinator import Coordinator
     from repro.net.errors import NetError
 
@@ -382,11 +392,14 @@ def cmd_net_put(args: argparse.Namespace) -> int:
         raise CLIError("--peers needs at least one host:port")
     params = RCParams(k=args.k, h=args.h, d=args.d, i=args.i)
     coordinator = Coordinator(
-        params, field=GF(args.q), rng=np.random.default_rng(args.seed)
+        params,
+        field=GF(args.q),
+        rng=np.random.default_rng(args.seed),
+        pool_size=args.pool_size,
     )
     file_id = args.file_id or source.name
     try:
-        stats = asyncio.run(coordinator.insert(data, peers, file_id))
+        stats = _run_net_op(coordinator, coordinator.insert(data, peers, file_id))
     except NetError as exc:
         raise CLIError(f"insertion failed: {exc}") from None
     stats.manifest.save(args.manifest)
@@ -401,8 +414,6 @@ def cmd_net_put(args: argparse.Namespace) -> int:
 
 def cmd_net_repair(args: argparse.Namespace) -> int:
     """Regenerate a lost piece onto a newcomer peer over the wire."""
-    import asyncio
-
     from repro.net.coordinator import Coordinator
     from repro.net.errors import NetError
 
@@ -414,10 +425,12 @@ def cmd_net_repair(args: argparse.Namespace) -> int:
         )
     newcomer = _parse_peer(args.newcomer)
     coordinator = Coordinator.from_manifest(
-        manifest, rng=np.random.default_rng(args.seed)
+        manifest, rng=np.random.default_rng(args.seed), pool_size=args.pool_size
     )
     try:
-        stats = asyncio.run(coordinator.repair(manifest, args.lost, newcomer))
+        stats = _run_net_op(
+            coordinator, coordinator.repair(manifest, args.lost, newcomer)
+        )
     except NetError as exc:
         raise CLIError(f"repair failed: {exc}") from None
     manifest.save(args.manifest)
@@ -437,17 +450,15 @@ def cmd_net_repair(args: argparse.Namespace) -> int:
 
 def cmd_net_get(args: argparse.Namespace) -> int:
     """Reconstruct a file from the swarm (coefficient-first download)."""
-    import asyncio
-
     from repro.net.coordinator import Coordinator
     from repro.net.errors import NetError
 
     manifest = _load_net_manifest(args.manifest)
     coordinator = Coordinator.from_manifest(
-        manifest, rng=np.random.default_rng(args.seed)
+        manifest, rng=np.random.default_rng(args.seed), pool_size=args.pool_size
     )
     try:
-        data, stats = asyncio.run(coordinator.reconstruct(manifest))
+        data, stats = _run_net_op(coordinator, coordinator.reconstruct(manifest))
     except NetError as exc:
         raise CLIError(f"reconstruction failed: {exc}") from None
     pathlib.Path(args.out).write_bytes(data)
@@ -602,6 +613,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="requests serviced simultaneously (link contention)")
     serve.add_argument("--seed", type=int, default=None,
                        help="seed for helper-side repair randomness")
+    serve.add_argument("--idle-timeout", type=float, default=60.0,
+                       help="seconds an idle persistent connection is kept "
+                            "before the daemon closes it (0 = forever)")
+    serve.add_argument("--no-fsync", action="store_true",
+                       help="skip blockstore durability fsyncs (throwaway "
+                            "data only; see docs/NET.md)")
     serve.set_defaults(handler=cmd_serve)
 
     net = subparsers.add_parser(
@@ -623,6 +640,10 @@ def build_parser() -> argparse.ArgumentParser:
     net_put.add_argument("--file-id", default=None,
                          help="swarm-wide name (default: the file name)")
     net_put.add_argument("--seed", type=int, default=None)
+    net_put.add_argument("--pool-size", type=int, default=None,
+                         help="persistent connections kept per peer "
+                              "(0 = fresh connection per request; default "
+                              "from REPRO_NET_POOL_SIZE or 4)")
     net_put.set_defaults(handler=cmd_net_put)
 
     net_repair = net_sub.add_parser("repair", help="regenerate a lost piece")
@@ -631,12 +652,18 @@ def build_parser() -> argparse.ArgumentParser:
     net_repair.add_argument("--newcomer", required=True,
                             help="host:port of the peer receiving the new piece")
     net_repair.add_argument("--seed", type=int, default=None)
+    net_repair.add_argument("--pool-size", type=int, default=None,
+                            help="persistent connections kept per peer "
+                                 "(0 = fresh per request)")
     net_repair.set_defaults(handler=cmd_net_repair)
 
     net_get = net_sub.add_parser("get", help="reconstruct a file from the swarm")
     net_get.add_argument("--manifest", required=True)
     net_get.add_argument("--out", required=True)
     net_get.add_argument("--seed", type=int, default=None)
+    net_get.add_argument("--pool-size", type=int, default=None,
+                         help="persistent connections kept per peer "
+                              "(0 = fresh per request)")
     net_get.set_defaults(handler=cmd_net_get)
 
     return parser

@@ -11,7 +11,9 @@ insertion, maintenance, and reconstruction against live peers.
 - :mod:`repro.net.server` -- :class:`PeerDaemon`, with helper-side
   repair encoding and a concurrency bound per peer;
 - :mod:`repro.net.client` -- :class:`PeerClient`, timeouts plus
-  exponential-backoff retry;
+  exponential-backoff retry over pooled persistent connections;
+- :mod:`repro.net.pool` -- :class:`ConnectionPool`, up to N health-
+  checked streams per peer (``pool_size=0`` restores fresh-per-request);
 - :mod:`repro.net.coordinator` -- insert / repair / reconstruct with
   dead-helper substitution and coefficient-first downloads;
 - :mod:`repro.net.cluster` -- :class:`LocalCluster` for tests & demos;
@@ -20,7 +22,7 @@ insertion, maintenance, and reconstruction against live peers.
 """
 
 from repro.net.blockstore import BlockStore
-from repro.net.client import PeerClient, RetryPolicy
+from repro.net.client import DEFAULT_POOL_SIZE, PeerClient, RetryPolicy, default_pool_size
 from repro.net.cluster import LocalCluster
 from repro.net.coordinator import (
     Coordinator,
@@ -40,11 +42,14 @@ from repro.net.errors import (
     RemoteError,
 )
 from repro.net.faults import FaultEvent, FaultKind, FaultPlan, FaultRule
+from repro.net.pool import ConnectionPool, PooledConnection
 from repro.net.server import PeerDaemon
 
 __all__ = [
     "BlockStore",
+    "ConnectionPool",
     "Coordinator",
+    "DEFAULT_POOL_SIZE",
     "FaultEvent",
     "FaultKind",
     "FaultPlan",
@@ -60,9 +65,11 @@ __all__ = [
     "PeerClient",
     "PeerDaemon",
     "PeerUnavailableError",
+    "PooledConnection",
     "ProtocolError",
     "ReconstructStats",
     "RemoteError",
     "RepairStats",
     "RetryPolicy",
+    "default_pool_size",
 ]

@@ -14,8 +14,15 @@ ref points to.  Every read recomputes the digest and raises
 daemon maps that to a typed CORRUPT error so the coordinator treats the
 peer's copy as lost and repairs it like any other failure.
 
-Writes go through a temp file + ``os.replace`` so a crashed daemon
-never leaves a half-written object behind.
+Writes go through a temp file + ``os.replace``, with the temp file
+fsynced before the rename and the directory fsynced after it, so a
+crashed daemon -- or the whole host losing power -- never leaves a
+half-written or missing-but-referenced object behind.  That is the full
+guarantee: ``os.replace`` alone survives a process crash but not power
+loss (the rename itself, or the unflushed data it points at, can
+vanish from an unjournaled directory).  Tests and throwaway clusters
+can pass ``fsync=False`` to trade the durability for speed; they then
+keep only the process-crash guarantee.
 """
 
 from __future__ import annotations
@@ -31,10 +38,17 @@ __all__ = ["BlockStore", "BlockCorruptionError"]
 
 
 class BlockStore:
-    """A directory of content-addressed pieces, keyed by opaque strings."""
+    """A directory of content-addressed pieces, keyed by opaque strings.
 
-    def __init__(self, root: str | os.PathLike):
+    ``fsync=False`` skips the durability syncs on writes (see the module
+    docstring for exactly what is given up) -- meant for tests and
+    :class:`~repro.net.cluster.LocalCluster` runs where the data is
+    disposable and the syscalls dominate small-piece throughput.
+    """
+
+    def __init__(self, root: str | os.PathLike, fsync: bool = True):
         self.root = pathlib.Path(root)
+        self.fsync = fsync
         self._objects = self.root / "objects"
         self._refs = self.root / "refs"
         self._objects.mkdir(parents=True, exist_ok=True)
@@ -51,20 +65,36 @@ class BlockStore:
         # Keys contain "/" (file_id/index); hash them for a flat namespace.
         return self._refs / f"{digest_bytes(key.encode('utf-8'))}.json"
 
-    @staticmethod
-    def _write_atomic(path: pathlib.Path, data: bytes) -> None:
+    def _write_atomic(self, path: pathlib.Path, data: bytes) -> None:
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=".tmp-")
         try:
             with os.fdopen(fd, "wb") as handle:
                 handle.write(data)
+                if self.fsync:
+                    # Data must be on stable storage *before* the rename
+                    # publishes the name, or power loss can leave the
+                    # final path pointing at garbage.
+                    handle.flush()
+                    os.fsync(handle.fileno())
             os.replace(tmp, path)
+            if self.fsync:
+                self._fsync_dir(path.parent)
         except BaseException:
             try:
                 os.unlink(tmp)
             except OSError:
                 pass
             raise
+
+    @staticmethod
+    def _fsync_dir(directory: pathlib.Path) -> None:
+        """Persist a rename: fsync the directory holding the new entry."""
+        fd = os.open(directory, os.O_RDONLY | getattr(os, "O_DIRECTORY", 0))
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
 
     # ------------------------------------------------------------------
     # store operations

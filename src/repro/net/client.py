@@ -1,26 +1,44 @@
-"""The peer client: timeouts, retries, and typed request helpers.
+"""The peer client: pooled connections, timeouts, retries, typed requests.
 
-One :class:`PeerClient` talks to one daemon.  Every request opens a
-fresh connection, which keeps retry semantics simple (no half-dead
-persistent streams) and matches the paper's workload: life-cycle
-operations are rare, bulky transfers, not chatty RPC.
+One :class:`PeerClient` talks to one daemon.  Requests ride on a
+:class:`~repro.net.pool.ConnectionPool` of up to ``pool_size``
+persistent streams, so a burst of small messages (reconstruction's
+per-piece GET_ROWS, a multi-chunk insert storm) pays the TCP connect
+round-trip once per stream instead of once per message.  ``pool_size=0``
+restores the historical fresh-connection-per-request transport; the
+default comes from the ``REPRO_NET_POOL_SIZE`` environment variable
+(fallback 4) so whole test suites can be flipped between modes.
+
+Pooled streams introduce one new failure shape: the daemon may close a
+connection *between* our requests (restart, idle reaping), so the first
+write on a reused stream can fail even though the peer is perfectly
+healthy.  :meth:`PeerClient._request_once` absorbs that case with a
+single transparent reconnect on a provably fresh connection -- it does
+not consume the retry budget and is invisible to fault accounting
+(injected faults are decided once, before checkout, and are never
+re-rolled by the reconnect).
 
 Failure handling distinguishes *transport* failures from *application*
 failures:
 
-- connect/read timeouts, refused connections, and resets are retried
-  with exponential backoff (``backoff * 2^attempt``, capped, minus a
-  seeded random jitter so a crowd of clients hammered by the same
-  outage does not retry in lockstep), then surface as
+- connect/read/write timeouts, refused connections, and resets are
+  retried with exponential backoff (``backoff * 2^attempt``, capped,
+  minus a seeded random jitter so a crowd of clients hammered by the
+  same outage does not retry in lockstep), then surface as
   :class:`PeerUnavailableError` -- the caller should treat the peer as
   dead and substitute another helper;
 - a well-formed ERROR response raises :class:`RemoteError` immediately:
   the peer is alive and retrying won't change its answer.
+
+Any stream whose conversation ended in anything but a complete, clean
+response is discarded rather than returned to the pool, so protocol
+desync cannot leak from one request into the next.
 """
 
 from __future__ import annotations
 
 import asyncio
+import os
 import random
 
 import numpy as np
@@ -28,6 +46,7 @@ import numpy as np
 from repro.gf.field import GaloisField
 from repro.net.errors import PeerUnavailableError, ProtocolError, RemoteError
 from repro.net.faults import FaultKind, FaultPlan
+from repro.net.pool import ConnectionPool, PooledConnection
 from repro.net.protocol import (
     Error,
     FragmentData,
@@ -46,7 +65,21 @@ from repro.net.protocol import (
     write_message,
 )
 
-__all__ = ["PeerClient", "RetryPolicy"]
+__all__ = ["PeerClient", "RetryPolicy", "DEFAULT_POOL_SIZE", "default_pool_size"]
+
+#: Streams kept per peer when neither the constructor nor the
+#: ``REPRO_NET_POOL_SIZE`` environment variable says otherwise.
+DEFAULT_POOL_SIZE = 4
+
+
+def default_pool_size() -> int:
+    """Pool size from ``REPRO_NET_POOL_SIZE`` (0 = fresh connections)."""
+    raw = os.environ.get("REPRO_NET_POOL_SIZE", "")
+    try:
+        size = int(raw)
+    except ValueError:
+        return DEFAULT_POOL_SIZE
+    return size if size >= 0 else DEFAULT_POOL_SIZE
 
 
 class RetryPolicy:
@@ -104,6 +137,8 @@ class PeerClient:
         retry: RetryPolicy | None = None,
         fault_plan: FaultPlan | None = None,
         fault_scope: str | None = None,
+        pool_size: int | None = None,
+        pool_idle_timeout: float = 30.0,
     ):
         self.host = host
         self.port = port
@@ -112,19 +147,68 @@ class PeerClient:
         self.retry = retry if retry is not None else RetryPolicy()
         self.fault_plan = fault_plan
         self.fault_scope = fault_scope
+        self.pool_size = pool_size if pool_size is not None else default_pool_size()
+        self.pool_idle_timeout = pool_idle_timeout
         #: Transport attempts that failed and were retried (monitoring).
         self.transport_failures = 0
+        #: Stale pooled streams replaced transparently, without spending
+        #: the retry budget (monitoring).
+        self.pool_reconnects = 0
+        # The pool binds to the running event loop (its semaphore does),
+        # so it is created lazily on first request and rebuilt if the
+        # client outlives an ``asyncio.run`` and is reused on a new loop.
+        self._pool: ConnectionPool | None = None
+        self._pool_loop: asyncio.AbstractEventLoop | None = None
 
     @property
     def address(self) -> tuple[str, int]:
         return (self.host, self.port)
 
+    @property
+    def pool(self) -> ConnectionPool | None:
+        """The live connection pool (``None`` before the first request)."""
+        return self._pool
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"PeerClient({self.host}:{self.port})"
+        return f"PeerClient({self.host}:{self.port}, pool_size={self.pool_size})"
 
     # ------------------------------------------------------------------
     # transport
     # ------------------------------------------------------------------
+
+    def _pool_for_loop(self) -> ConnectionPool:
+        loop = asyncio.get_running_loop()
+        if self._pool is None or self._pool_loop is not loop:
+            if self._pool is not None:
+                self._pool.abandon()
+            self._pool = ConnectionPool(
+                self.host,
+                self.port,
+                self.pool_size,
+                connect_timeout=self.connect_timeout,
+                idle_timeout=self.pool_idle_timeout,
+            )
+            self._pool_loop = loop
+        return self._pool
+
+    async def _converse(self, conn: PooledConnection, message: Message, event) -> Message:
+        """One request/response exchange on an already-open stream."""
+        writer, reader = conn.writer, conn.reader
+        if event is not None and event.kind is FaultKind.CORRUPT:
+            writer.write(
+                self.fault_plan.corrupt_frame(encode_message(message), event)
+            )
+            await asyncio.wait_for(writer.drain(), timeout=self.read_timeout)
+        elif event is not None and event.kind is FaultKind.TRUNCATE:
+            # Send a prefix, then EOF: the daemon sees a cut frame.
+            writer.write(
+                self.fault_plan.truncate_frame(encode_message(message), event)
+            )
+            await asyncio.wait_for(writer.drain(), timeout=self.read_timeout)
+            writer.write_eof()
+        else:
+            await write_message(writer, message, timeout=self.read_timeout)
+        return await asyncio.wait_for(read_message(reader), timeout=self.read_timeout)
 
     async def _request_once(self, message: Message) -> Message:
         event = None
@@ -140,34 +224,35 @@ class PeerClient:
             raise ConnectionResetError("fault injection: client connection dropped")
         if event is not None and event.kind is FaultKind.DELAY:
             await asyncio.sleep(self.fault_plan.rule(event).delay)
-        reader, writer = await asyncio.wait_for(
-            asyncio.open_connection(self.host, self.port),
-            timeout=self.connect_timeout,
-        )
-        try:
-            if event is not None and event.kind is FaultKind.CORRUPT:
-                writer.write(
-                    self.fault_plan.corrupt_frame(encode_message(message), event)
-                )
-                await writer.drain()
-            elif event is not None and event.kind is FaultKind.TRUNCATE:
-                # Send a prefix, then EOF: the daemon sees a cut frame.
-                writer.write(
-                    self.fault_plan.truncate_frame(encode_message(message), event)
-                )
-                await writer.drain()
-                writer.write_eof()
-            else:
-                await write_message(writer, message)
-            return await asyncio.wait_for(
-                read_message(reader), timeout=self.read_timeout
-            )
-        finally:
-            writer.close()
+        pool = self._pool_for_loop()
+        for attempt in (0, 1):
+            conn = await pool.acquire(fresh=attempt > 0)
+            reused = conn.reused
             try:
-                await writer.wait_closed()
-            except (ConnectionResetError, BrokenPipeError, OSError):
-                pass
+                response = await self._converse(conn, message, event)
+            except BaseException as exc:
+                pool.release(conn, discard=True)
+                # A reused stream that dies on first touch usually means
+                # the daemon closed it between our requests.  Reconnect
+                # once on a guaranteed-fresh stream; anything else (a
+                # fresh-stream failure, a timeout, an injected fault)
+                # goes to the normal retry/backoff path.
+                stale_stream = isinstance(
+                    exc, (OSError, asyncio.IncompleteReadError)
+                ) and not isinstance(exc, asyncio.TimeoutError)
+                if attempt == 0 and reused and event is None and stale_stream:
+                    self.pool_reconnects += 1
+                    continue
+                raise
+            # A stream that carried a deliberately mangled frame is out
+            # of protocol sync; never return it to the pool.
+            poisoned = event is not None and event.kind in (
+                FaultKind.TRUNCATE,
+                FaultKind.CORRUPT,
+            )
+            pool.release(conn, discard=poisoned)
+            return response
+        raise AssertionError("unreachable")  # pragma: no cover
 
     async def request(self, message: Message) -> Message:
         """Send one request, retrying transport failures with backoff."""
@@ -192,6 +277,20 @@ class PeerClient:
             f"peer {self.host}:{self.port} unreachable after "
             f"{self.retry.retries + 1} attempts: {last!r}"
         ) from last
+
+    async def aclose(self) -> None:
+        """Close any pooled streams.  The client stays usable after."""
+        pool, loop = self._pool, self._pool_loop
+        self._pool = None
+        self._pool_loop = None
+        if pool is None:
+            return
+        if asyncio.get_running_loop() is loop:
+            await pool.aclose()
+        else:
+            # The pool belongs to a loop that is gone; a graceful close
+            # cannot await on it, so just drop the transports.
+            pool.abandon()
 
     async def _expect(self, message: Message, response_type: type) -> Message:
         response = await self.request(message)

@@ -48,6 +48,7 @@ class LocalCluster:
         max_concurrent: int = 8,
         seed: int | None = None,
         fault_plan: FaultPlan | None = None,
+        fsync: bool = False,
     ):
         if peers < 1:
             raise ValueError(f"a cluster needs at least one peer, got {peers}")
@@ -55,12 +56,17 @@ class LocalCluster:
         self.max_concurrent = max_concurrent
         self._seed = seed
         self.fault_plan = fault_plan
+        # Local clusters hold disposable data: skip the blockstore's
+        # durability fsyncs by default so small-piece storms measure the
+        # wire, not the filesystem journal.  Pass fsync=True to get the
+        # deployment write path.
+        self.fsync = fsync
         self.daemons: list[PeerDaemon] = [
             self._make_daemon(number) for number in range(peers)
         ]
 
     def _make_daemon(self, number: int) -> PeerDaemon:
-        store = BlockStore(self.root / f"peer_{number:02d}")
+        store = BlockStore(self.root / f"peer_{number:02d}", fsync=self.fsync)
         rng = (
             np.random.default_rng(self._seed + number)
             if self._seed is not None
@@ -141,4 +147,4 @@ class LocalCluster:
         """Destroy peer ``number``'s blockstore (permanent data loss)."""
         store_root = self.daemons[number].store.root
         shutil.rmtree(store_root, ignore_errors=True)
-        self.daemons[number].store = BlockStore(store_root)
+        self.daemons[number].store = BlockStore(store_root, fsync=self.fsync)

@@ -88,6 +88,10 @@ class PeerAddress:
     port: int
 
     def __str__(self) -> str:
+        # IPv6 literals must be bracketed when joined with a port
+        # (RFC 3986 host syntax) so parse(str(addr)) round-trips.
+        if ":" in self.host:
+            return f"[{self.host}]:{self.port}"
         return f"{self.host}:{self.port}"
 
     @classmethod
@@ -95,6 +99,15 @@ class PeerAddress:
         host, _, port = text.rpartition(":")
         if not host or not port.isdigit():
             raise ValueError(f"peer address must be host:port, got {text!r}")
+        if host.startswith("[") and host.endswith("]"):
+            # Bracketed IPv6 literal: "[::1]:9000" dials host "::1".
+            host = host[1:-1]
+            if not host:
+                raise ValueError(f"peer address must be host:port, got {text!r}")
+        elif ":" in host:
+            raise ValueError(
+                f"IPv6 peer address must be bracketed [addr]:port, got {text!r}"
+            )
         return cls(host=host, port=int(port))
 
 
@@ -223,6 +236,7 @@ class Coordinator:
         read_timeout: float = 30.0,
         retry: RetryPolicy | None = None,
         fault_plan: FaultPlan | None = None,
+        pool_size: int | None = None,
     ):
         self.code = RandomLinearRegeneratingCode(
             params, field=field if field is not None else GF(16), rng=rng
@@ -233,6 +247,10 @@ class Coordinator:
         #: Optional fault plan handed to every client this coordinator
         #: opens (client-side injection; daemons hold their own hook).
         self.fault_plan = fault_plan
+        #: Streams each cached client keeps pooled (``None``: the
+        #: client's own default; ``0``: fresh connection per request).
+        self.pool_size = pool_size
+        self._clients: dict[PeerAddress, PeerClient] = {}
 
     @classmethod
     def from_manifest(
@@ -249,15 +267,56 @@ class Coordinator:
         return self.code.field
 
     def client(self, location: PeerAddress) -> PeerClient:
-        """A client for one peer, with this coordinator's timeout policy."""
-        return PeerClient(
-            location.host,
-            location.port,
-            connect_timeout=self.connect_timeout,
-            read_timeout=self.read_timeout,
-            retry=self.retry,
-            fault_plan=self.fault_plan,
-        )
+        """The client for one peer, with this coordinator's timeout policy.
+
+        One :class:`PeerClient` (and hence one connection pool) is kept
+        per :class:`PeerAddress` for the coordinator's lifetime, so the
+        retry loops in insert/repair/reconstruct reuse warm streams
+        instead of dialing the peer anew on every attempt.  Close the
+        pools with :meth:`aclose` (or use the coordinator as an async
+        context manager).
+        """
+        client = self._clients.get(location)
+        if client is None:
+            client = PeerClient(
+                location.host,
+                location.port,
+                connect_timeout=self.connect_timeout,
+                read_timeout=self.read_timeout,
+                retry=self.retry,
+                fault_plan=self.fault_plan,
+                pool_size=self.pool_size,
+            )
+            self._clients[location] = client
+        return client
+
+    async def aclose(self) -> None:
+        """Close every cached client's pooled connections."""
+        clients, self._clients = list(self._clients.values()), {}
+        for client in clients:
+            await client.aclose()
+
+    async def __aenter__(self) -> "Coordinator":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.aclose()
+
+    def transport_stats(self) -> dict[str, int]:
+        """Aggregate connection counters over every cached client."""
+        totals = {
+            "connections_opened": 0,
+            "connections_reused": 0,
+            "pool_reconnects": 0,
+            "transport_failures": 0,
+        }
+        for client in self._clients.values():
+            totals["pool_reconnects"] += client.pool_reconnects
+            totals["transport_failures"] += client.transport_failures
+            if client.pool is not None:
+                totals["connections_opened"] += client.pool.opened
+                totals["connections_reused"] += client.pool.reused
+        return totals
 
     # ------------------------------------------------------------------
     # insertion
@@ -419,7 +478,10 @@ class Coordinator:
         blob = piece_to_bytes(piece, self.field)
         try:
             await self.client(newcomer).store_piece(manifest.key(lost_index), blob)
-        except PeerUnavailableError as exc:
+        except PEER_FAILURES as exc:
+            # Any way the newcomer can fail the upload -- dead, a typed
+            # ERROR refusal, or a garbled reply -- is the same repair
+            # failure to the caller; keep the typed-error contract.
             raise NetRepairError(
                 f"newcomer {newcomer} refused the regenerated piece: {exc}"
             ) from exc

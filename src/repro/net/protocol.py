@@ -426,7 +426,20 @@ async def read_message(reader: asyncio.StreamReader) -> Message:
     return cls.decode_body(body, flags)
 
 
-async def write_message(writer: asyncio.StreamWriter, message: Message) -> None:
-    """Frame and send ``message``, waiting for the transport to drain."""
+async def write_message(
+    writer: asyncio.StreamWriter,
+    message: Message,
+    timeout: float | None = None,
+) -> None:
+    """Frame and send ``message``, waiting for the transport to drain.
+
+    ``timeout`` bounds the drain: a peer that accepts the connection but
+    stops reading leaves the kernel send buffer full forever, and an
+    unbounded ``drain()`` on a bulky piece upload would stall the caller
+    with it.  ``None`` keeps the historical unbounded behaviour.
+    """
     writer.write(encode_message(message))
-    await writer.drain()
+    if timeout is None:
+        await writer.drain()
+    else:
+        await asyncio.wait_for(writer.drain(), timeout=timeout)

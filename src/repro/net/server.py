@@ -15,6 +15,12 @@ the paper's system model:
   (``SimulationConfig.model_link_contention``) made real: a peer's
   uplink serves a bounded number of transfers at a time and everything
   else queues.
+
+Connections are **persistent**: the handler loops, serving any number of
+sequential requests per connection until the client closes it, a fault
+severs it, or it sits idle past ``idle_timeout`` -- the server half of
+the client's :class:`~repro.net.pool.ConnectionPool`.  A one-shot
+client still works unchanged (it just closes after its one exchange).
 """
 
 from __future__ import annotations
@@ -81,6 +87,12 @@ class PeerDaemon:
     fault_scope:
         Label identifying this daemon to scoped fault rules (a
         :class:`LocalCluster` sets ``"peerNN"``).
+    idle_timeout:
+        Seconds a persistent connection may sit between requests (and a
+        response drain may stall) before the daemon closes it.  ``None``
+        (the default) keeps connections forever -- fine for tests and
+        trusted clusters; the CLI sets a finite value so abandoned
+        pooled streams don't pin file descriptors.
     """
 
     def __init__(
@@ -92,22 +104,30 @@ class PeerDaemon:
         rng: np.random.Generator | None = None,
         fault_plan: FaultPlan | None = None,
         fault_scope: str | None = None,
+        idle_timeout: float | None = None,
     ):
         if max_concurrent < 1:
             raise ValueError(f"max_concurrent must be >= 1, got {max_concurrent}")
+        if idle_timeout is not None and idle_timeout <= 0:
+            raise ValueError(f"idle_timeout must be positive, got {idle_timeout}")
         self.store = store
         self.host = host
         self.port = port
         self.rng = rng if rng is not None else np.random.default_rng()
         self.fault_plan = fault_plan
         self.fault_scope = fault_scope
+        self.idle_timeout = idle_timeout
         self._semaphore = asyncio.Semaphore(max_concurrent)
         self._server: asyncio.base_events.Server | None = None
         self._connections: set[asyncio.StreamWriter] = set()
+        self._handlers: set[asyncio.Task] = set()
         #: Requests served since start, by message type name (monitoring).
         self.requests_served: dict[str, int] = {}
         #: Faults this daemon applied, by kind value (monitoring).
         self.faults_applied: dict[str, int] = {}
+        #: Connections accepted since start (monitoring; a pooled client
+        #: should keep this far below its request count).
+        self.connections_accepted = 0
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -124,13 +144,25 @@ class PeerDaemon:
         logger.info("peer daemon listening on %s:%d", self.host, self.port)
 
     async def stop(self) -> None:
-        """Stop accepting and close the listening socket."""
-        if self._server is None:
-            return
-        self._server.close()
-        await self._server.wait_closed()
-        self._server = None
-        logger.info("peer daemon on %s:%d stopped", self.host, self.port)
+        """Stop accepting, sever open connections, close the listener.
+
+        Persistent connections make closing them part of shutdown: a
+        pooled client may hold an idle stream open indefinitely, and on
+        Python >= 3.12 ``Server.wait_closed()`` waits for every active
+        handler, so leaving them up would hang shutdown forever.
+        """
+        if self._server is not None:
+            self._server.close()
+        for writer in list(self._connections):
+            writer.close()
+        if self._server is not None:
+            await self._server.wait_closed()
+            self._server = None
+            logger.info("peer daemon on %s:%d stopped", self.host, self.port)
+        if self._handlers:
+            # Severed handlers wake up on EOF; wait for them to unwind so
+            # no task is left to be cancelled noisily at loop teardown.
+            await asyncio.gather(*list(self._handlers), return_exceptions=True)
 
     async def serve_forever(self) -> None:
         """Start (if needed) and block until cancelled -- CLI entry point."""
@@ -185,11 +217,22 @@ class PeerDaemon:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         peername = writer.get_extra_info("peername")
+        task = asyncio.current_task()
+        if task is not None:
+            self._handlers.add(task)
         self._connections.add(writer)
+        self.connections_accepted += 1
         try:
             while True:
                 try:
-                    request = await read_message(reader)
+                    if self.idle_timeout is not None:
+                        request = await asyncio.wait_for(
+                            read_message(reader), timeout=self.idle_timeout
+                        )
+                    else:
+                        request = await read_message(reader)
+                except asyncio.TimeoutError:
+                    break  # idle past the deadline; reap the connection
                 except asyncio.IncompleteReadError:
                     break  # clean EOF between frames
                 except ProtocolError as exc:
@@ -223,11 +266,16 @@ class PeerDaemon:
                     writer.write(frame)
                     await writer.drain()
                     continue
-                await write_message(writer, response)
+                try:
+                    await write_message(writer, response, timeout=self.idle_timeout)
+                except asyncio.TimeoutError:
+                    break  # client stopped reading; don't stall the handler
         except (ConnectionResetError, BrokenPipeError):
             logger.debug("connection from %s reset", peername)
         finally:
             self._connections.discard(writer)
+            if task is not None:
+                self._handlers.discard(task)
             writer.close()
             try:
                 await writer.wait_closed()

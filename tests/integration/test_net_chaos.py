@@ -102,16 +102,24 @@ SCENARIOS = {
 }
 
 
-async def run_lifecycle(root, plan: FaultPlan, scenario: Scenario):
+#: Both transport modes must survive every scenario: pooled persistent
+#: streams (the default) and the fresh-connection-per-request fallback.
+POOL_MODES = pytest.mark.parametrize("pool_size", [0, 4], ids=["fresh", "pooled"])
+
+
+async def run_lifecycle(root, plan: FaultPlan, scenario: Scenario, pool_size: int):
     """One full life cycle under ``plan``; returns the restored bytes."""
-    async with LocalCluster(PEERS, root, seed=5, fault_plan=plan) as cluster:
-        coordinator = Coordinator(
+    async with (
+        LocalCluster(PEERS, root, seed=5, fault_plan=plan) as cluster,
+        Coordinator(
             PARAMS,
             rng=np.random.default_rng(11),
             retry=RetryPolicy(retries=2, backoff=0.01, jitter=0.0),
             read_timeout=0.2,
             fault_plan=plan,
-        )
+            pool_size=pool_size,
+        ) as coordinator,
+    ):
         stats = await coordinator.insert(DATA, cluster.addresses, "f")
         manifest = stats.manifest
         if scenario.repair:
@@ -121,7 +129,7 @@ async def run_lifecycle(root, plan: FaultPlan, scenario: Scenario):
         return restored
 
 
-def run_scenario(tmp_path, name, run_number=0):
+def run_scenario(tmp_path, name, run_number=0, pool_size=4):
     """Execute a named scenario once; returns (outcome, fault history).
 
     ``outcome`` is the restored bytes or the typed exception instance.
@@ -134,7 +142,8 @@ def run_scenario(tmp_path, name, run_number=0):
     async def bounded():
         try:
             return await asyncio.wait_for(
-                run_lifecycle(root, plan, scenario), timeout=HARD_TIMEOUT
+                run_lifecycle(root, plan, scenario, pool_size),
+                timeout=HARD_TIMEOUT,
             )
         except NetError as exc:
             return exc
@@ -142,9 +151,10 @@ def run_scenario(tmp_path, name, run_number=0):
     return asyncio.run(bounded()), plan.history()
 
 
+@POOL_MODES
 @pytest.mark.parametrize("name", sorted(SCENARIOS))
-def test_scenario_ends_in_roundtrip_or_typed_error(tmp_path, name):
-    outcome, history = run_scenario(tmp_path, name)
+def test_scenario_ends_in_roundtrip_or_typed_error(tmp_path, name, pool_size):
+    outcome, history = run_scenario(tmp_path, name, pool_size=pool_size)
     assert history, "the fault plan never fired -- scenario tests nothing"
     expect = SCENARIOS[name].expect
     if expect == "roundtrip":
@@ -156,12 +166,17 @@ def test_scenario_ends_in_roundtrip_or_typed_error(tmp_path, name):
         assert outcome == DATA or isinstance(outcome, NetError)
 
 
+@POOL_MODES
 @pytest.mark.parametrize("name", sorted(SCENARIOS))
-def test_scenario_is_reproducible_from_its_seed(tmp_path, name):
+def test_scenario_is_reproducible_from_its_seed(tmp_path, name, pool_size):
     """Same seed, fresh cluster: the identical fault set fires and the
     outcome is identical -- the acceptance criterion of the fault layer."""
-    first_outcome, first_history = run_scenario(tmp_path, name, run_number=0)
-    second_outcome, second_history = run_scenario(tmp_path, name, run_number=1)
+    first_outcome, first_history = run_scenario(
+        tmp_path, name, run_number=0, pool_size=pool_size
+    )
+    second_outcome, second_history = run_scenario(
+        tmp_path, name, run_number=1, pool_size=pool_size
+    )
     assert first_history == second_history
     if isinstance(first_outcome, NetError):
         assert type(second_outcome) is type(first_outcome)

@@ -14,6 +14,8 @@ import pytest
 from repro.core.params import RCParams
 from repro.net import (
     Coordinator,
+    FaultPlan,
+    FaultRule,
     LocalCluster,
     NetRepairError,
     RetryPolicy,
@@ -43,8 +45,10 @@ class TestFullLifecycle:
         data = payload(30_000, seed=42)
 
         async def scenario():
-            async with LocalCluster(8, tmp_path, seed=3) as cluster:
-                coordinator = make_coordinator()
+            async with (
+                LocalCluster(8, tmp_path, seed=3) as cluster,
+                make_coordinator() as coordinator,
+            ):
 
                 # Insert: 16 pieces scattered round-robin over 8 peers.
                 stats = await coordinator.insert(
@@ -88,8 +92,10 @@ class TestFullLifecycle:
         data = payload(9_000, seed=5)
 
         async def scenario():
-            async with LocalCluster(8, tmp_path, seed=11) as cluster:
-                coordinator = make_coordinator(seed=13)
+            async with (
+                LocalCluster(8, tmp_path, seed=11) as cluster,
+                make_coordinator(seed=13) as coordinator,
+            ):
                 stats = await coordinator.insert(
                     data, cluster.addresses, file_id="f"
                 )
@@ -117,8 +123,10 @@ class TestRepairUnderFailure:
         data = payload(12_000, seed=8)
 
         async def scenario():
-            async with LocalCluster(9, tmp_path, seed=21) as cluster:
-                coordinator = make_coordinator(seed=23)
+            async with (
+                LocalCluster(9, tmp_path, seed=21) as cluster,
+                make_coordinator(seed=23) as coordinator,
+            ):
                 stats = await coordinator.insert(
                     data, cluster.addresses, file_id="f"
                 )
@@ -157,8 +165,10 @@ class TestRepairUnderFailure:
         typed error instead of limping along -- the durability boundary."""
 
         async def scenario():
-            async with LocalCluster(4, tmp_path, seed=31) as cluster:
-                coordinator = make_coordinator(seed=33)
+            async with (
+                LocalCluster(4, tmp_path, seed=31) as cluster,
+                make_coordinator(seed=33) as coordinator,
+            ):
                 stats = await coordinator.insert(
                     payload(4_000, seed=1), cluster.addresses, file_id="f"
                 )
@@ -178,8 +188,10 @@ class TestRepairUnderFailure:
         data = payload(6_000, seed=17)
 
         async def scenario():
-            async with LocalCluster(8, tmp_path, seed=41) as cluster:
-                coordinator = make_coordinator(seed=43)
+            async with (
+                LocalCluster(8, tmp_path, seed=41) as cluster,
+                make_coordinator(seed=43) as coordinator,
+            ):
                 stats = await coordinator.insert(
                     data, cluster.addresses, file_id="f"
                 )
@@ -198,3 +210,42 @@ class TestRepairUnderFailure:
         restored, stats = asyncio.run(scenario())
         assert restored == data
         assert stats.fragments_downloaded == PARAMS.n_file
+
+    def test_piece_holder_dying_between_phases_triggers_replan(self, tmp_path):
+        """The mid-flight re-plan path, deterministically: phase 1 reads
+        piece 2's coefficients fine, then its daemon crashes on the
+        phase-2 GET_ROWS.  Reconstruction must drop that piece, probe a
+        substitute (counted in ``pieces_probed``), and still restore the
+        file byte-identical."""
+        data = payload(10_000, seed=29)
+        # A seeded server-side crash, aimed at exactly one request: the
+        # first GET_ROWS for piece 2.  Phase 1 (GET_PIECE) is untouched,
+        # so the piece enters the plan before its holder dies.
+        plan = FaultPlan(
+            seed=71,
+            rules=[
+                FaultRule(
+                    kind="crash", side="server", operation="get_rows",
+                    key="f/2", times=1,
+                )
+            ],
+        )
+
+        async def scenario():
+            async with (
+                LocalCluster(8, tmp_path, seed=59, fault_plan=plan) as cluster,
+                make_coordinator(seed=61) as coordinator,
+            ):
+                stats = await coordinator.insert(
+                    data, cluster.addresses, file_id="f"
+                )
+                restored, rstats = await coordinator.reconstruct(stats.manifest)
+                return restored, rstats
+
+        restored, rstats = asyncio.run(scenario())
+        assert restored == data
+        # One extra coefficient probe beyond the k the happy path needs.
+        assert rstats.pieces_probed == PARAMS.k + 1
+        assert rstats.fragments_downloaded == PARAMS.n_file
+        # The crash actually fired (it is what forced the re-plan).
+        assert [event.kind.value for event in plan.injected] == ["crash"]

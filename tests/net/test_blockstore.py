@@ -89,3 +89,47 @@ class TestCorruption:
         store._object_path(store.digest("a/0")).unlink()
         with pytest.raises(KeyError):
             store.get("a/0")
+
+
+class TestDurability:
+    """The fsync contract: data and rename hit stable storage (satellite
+    bugfix -- ``_write_atomic`` previously never fsynced anything)."""
+
+    def _record_fsyncs(self, monkeypatch):
+        import os
+        import stat
+
+        synced = {"files": 0, "dirs": 0}
+        real_fsync = os.fsync
+
+        def recording_fsync(fd):
+            kind = "dirs" if stat.S_ISDIR(os.fstat(fd).st_mode) else "files"
+            synced[kind] += 1
+            return real_fsync(fd)
+
+        monkeypatch.setattr(os, "fsync", recording_fsync)
+        return synced
+
+    def test_put_fsyncs_data_and_directories(self, tmp_path, monkeypatch):
+        synced = self._record_fsyncs(monkeypatch)
+        store = BlockStore(tmp_path / "store")  # durability on by default
+        store.put("a/0", b"must survive power loss")
+        # Object file + ref file, and the directory holding each rename.
+        assert synced["files"] == 2
+        assert synced["dirs"] == 2
+        assert store.get("a/0") == b"must survive power loss"
+
+    def test_dedup_rewrite_syncs_only_the_ref(self, tmp_path, monkeypatch):
+        store = BlockStore(tmp_path / "store")
+        store.put("a/0", b"same bytes")
+        synced = self._record_fsyncs(monkeypatch)
+        store.put("b/0", b"same bytes")  # object exists: only a new ref
+        assert synced["files"] == 1
+        assert synced["dirs"] == 1
+
+    def test_fsync_opt_out_for_tests(self, tmp_path, monkeypatch):
+        synced = self._record_fsyncs(monkeypatch)
+        store = BlockStore(tmp_path / "store", fsync=False)
+        store.put("a/0", b"disposable")
+        assert synced == {"files": 0, "dirs": 0}
+        assert store.get("a/0") == b"disposable"

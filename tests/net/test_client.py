@@ -160,6 +160,45 @@ class TestRetry:
         assert run(scenario()) == 1  # no retry on application errors
 
 
+class TestWriteTimeout:
+    def test_stalled_peer_does_not_hang_large_upload(self):
+        """A peer that accepts the connection but never reads must trip
+        the write timeout (read_timeout bounds the drain) instead of
+        stalling ``writer.drain()`` forever on a bulky piece upload."""
+
+        async def scenario():
+            release = asyncio.Event()
+
+            async def handle(reader, writer):
+                # Accept, then never read a byte: the client's send
+                # buffer fills and its drain() blocks.
+                await release.wait()
+                writer.close()
+
+            server = await asyncio.start_server(handle, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            async with server:
+                client = PeerClient(
+                    "127.0.0.1",
+                    port,
+                    read_timeout=0.2,
+                    retry=RetryPolicy(retries=0, backoff=0.01),
+                )
+                blob = b"\x00" * (8 << 20)  # far beyond any socket buffer
+                loop = asyncio.get_running_loop()
+                start = loop.time()
+                with pytest.raises(PeerUnavailableError):
+                    await client.store_piece("f/0", blob)
+                elapsed = loop.time() - start
+                release.set()
+                await client.aclose()
+            return elapsed
+
+        # Before the fix this hung until the suite's hard timeout; the
+        # bounded drain fails the attempt in roughly read_timeout.
+        assert run(scenario()) < 5.0
+
+
 class TestBackoffSchedule:
     def test_exponential_with_cap(self):
         policy = RetryPolicy(retries=6, backoff=0.1, backoff_cap=1.0, jitter=0.0)

@@ -31,7 +31,7 @@ def encoded(code, sample_data):
     return code.insert(sample_data)
 
 
-def with_daemon(tmp_path, scenario, **daemon_kwargs):
+def with_daemon(tmp_path, scenario, client_kwargs=None, **daemon_kwargs):
     """Run ``scenario(daemon, client)`` against a live daemon."""
 
     async def runner():
@@ -41,12 +41,15 @@ def with_daemon(tmp_path, scenario, **daemon_kwargs):
             **daemon_kwargs,
         )
         await daemon.start()
+        client = PeerClient(
+            *daemon.address,
+            retry=RetryPolicy(retries=1, backoff=0.01),
+            **(client_kwargs or {}),
+        )
         try:
-            client = PeerClient(
-                *daemon.address, retry=RetryPolicy(retries=1, backoff=0.01)
-            )
             return await scenario(daemon, client)
         finally:
+            await client.aclose()
             await daemon.stop()
 
     return asyncio.run(runner())
@@ -201,3 +204,43 @@ class TestConcurrencyBound:
     def test_invalid_bound_rejected(self, tmp_path):
         with pytest.raises(ValueError):
             PeerDaemon(BlockStore(tmp_path / "s"), max_concurrent=0)
+
+
+class TestPersistentConnections:
+    def test_many_requests_ride_one_connection(self, tmp_path, code, encoded):
+        """The daemon's request loop serves sequential requests without
+        forcing a reconnect per message."""
+        blob = piece_to_bytes(encoded.pieces[0], code.field)
+
+        async def scenario(daemon, client):
+            await client.store_piece("f/0", blob)
+            for _ in range(5):
+                assert await client.get_piece("f/0") == blob
+            assert daemon.connections_accepted == 1
+            assert sum(daemon.requests_served.values()) == 6
+
+        with_daemon(tmp_path, scenario, client_kwargs={"pool_size": 2})
+
+    def test_idle_timeout_reaps_quiet_connections(self, tmp_path):
+        """An idle persistent connection is closed server-side, and the
+        client recovers transparently on its next request."""
+
+        async def scenario(daemon, client):
+            assert await client.ping() is True
+            await asyncio.sleep(0.3)  # exceed the daemon's idle window
+            assert await client.ping() is True
+            assert daemon.connections_accepted == 2
+            # Recovery was invisible: eviction at checkout or a
+            # transparent reconnect, never a spent retry.
+            assert client.transport_failures == 0
+
+        with_daemon(
+            tmp_path,
+            scenario,
+            client_kwargs={"pool_size": 2},
+            idle_timeout=0.1,
+        )
+
+    def test_invalid_idle_timeout_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            PeerDaemon(BlockStore(tmp_path / "s"), idle_timeout=0.0)

@@ -1,0 +1,227 @@
+"""ConnectionPool and the pooled PeerClient transport.
+
+Covers the tentpole contract: reuse across sequential requests,
+``pool_size=0`` fresh-connection fallback, health-check eviction of
+streams the daemon closed, transparent one-shot reconnect (no retry
+budget spent), idle reaping, the concurrency bound, teardown, and the
+interaction with client-side fault injection (a poisoned stream is
+never returned to the pool).
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.net.blockstore import BlockStore
+from repro.net.client import PeerClient, RetryPolicy, default_pool_size
+from repro.net.faults import FaultPlan, FaultRule
+from repro.net.pool import ConnectionPool
+from repro.net.server import PeerDaemon
+
+
+def with_daemon(tmp_path, scenario, client_kwargs=None, **daemon_kwargs):
+    """Run ``scenario(daemon, client)`` against a live daemon."""
+
+    async def runner():
+        daemon = PeerDaemon(
+            BlockStore(tmp_path / "store"),
+            rng=np.random.default_rng(42),
+            **daemon_kwargs,
+        )
+        await daemon.start()
+        client = PeerClient(
+            *daemon.address,
+            retry=RetryPolicy(retries=2, backoff=0.01, jitter=0.0),
+            **(client_kwargs or {}),
+        )
+        try:
+            return await scenario(daemon, client)
+        finally:
+            await client.aclose()
+            await daemon.stop()
+
+    return asyncio.run(runner())
+
+
+class TestReuse:
+    def test_sequential_requests_share_one_stream(self, tmp_path):
+        async def scenario(daemon, client):
+            for _ in range(6):
+                assert await client.ping() is True
+            assert daemon.connections_accepted == 1
+            assert client.pool.opened == 1
+            assert client.pool.reused == 5
+
+        with_daemon(tmp_path, scenario, client_kwargs={"pool_size": 4})
+
+    def test_pool_size_zero_dials_per_request(self, tmp_path):
+        """The fresh-connection fallback is exactly the old transport."""
+
+        async def scenario(daemon, client):
+            for _ in range(4):
+                assert await client.ping() is True
+            assert daemon.connections_accepted == 4
+            assert client.pool.opened == 4
+            assert client.pool.reused == 0
+
+        with_daemon(tmp_path, scenario, client_kwargs={"pool_size": 0})
+
+    def test_concurrent_requests_bounded_by_pool_size(self, tmp_path):
+        async def scenario(daemon, client):
+            results = await asyncio.gather(*(client.ping() for _ in range(12)))
+            assert all(results)
+            assert daemon.connections_accepted <= 2
+            assert client.pool.opened <= 2
+
+        with_daemon(tmp_path, scenario, client_kwargs={"pool_size": 2})
+
+    def test_client_survives_reuse_across_event_loops(self, tmp_path):
+        """A client reused after ``asyncio.run`` rebuilds its pool on the
+        new loop instead of tripping over loop-bound primitives (the
+        pool's semaphore) or transports owned by the dead loop."""
+        import socket
+
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+
+        client = PeerClient(
+            "127.0.0.1",
+            port,
+            retry=RetryPolicy(retries=1, backoff=0.01),
+            pool_size=2,
+        )
+
+        async def one_session(number, close_client):
+            daemon = PeerDaemon(
+                BlockStore(tmp_path / f"store_{number}"),
+                port=port,
+                rng=np.random.default_rng(number),
+            )
+            await daemon.start()
+            try:
+                assert await client.ping() is True
+                return client.pool
+            finally:
+                if close_client:
+                    await client.aclose()
+                await daemon.stop()
+
+        # First loop leaves its pooled stream dangling on purpose: the
+        # second loop must abandon it and rebuild, not reuse it.
+        first_pool = asyncio.run(one_session(1, close_client=False))
+        second_pool = asyncio.run(one_session(2, close_client=True))
+        assert first_pool is not second_pool
+
+
+class TestBrokenStreams:
+    def test_server_closed_stream_recovers_without_retry(self, tmp_path):
+        """A stream the daemon closed between requests is replaced
+        (health-check eviction or transparent reconnect) without
+        spending the retry budget."""
+
+        async def scenario(daemon, client):
+            assert await client.ping() is True
+            # Sever every server-side connection behind the pool's back.
+            for writer in list(daemon._connections):
+                writer.close()
+            await asyncio.sleep(0.05)
+            assert await client.ping() is True
+            assert client.transport_failures == 0
+            assert client.pool.evicted + client.pool_reconnects >= 1
+
+        with_daemon(tmp_path, scenario, client_kwargs={"pool_size": 4})
+
+    def test_aclose_then_reuse_degrades_to_fresh(self, tmp_path):
+        async def scenario(daemon, client):
+            assert await client.ping() is True
+            await client.aclose()
+            assert client.pool is None
+            assert await client.ping() is True  # rebuilt lazily
+
+        with_daemon(tmp_path, scenario, client_kwargs={"pool_size": 4})
+
+
+class TestIdleReaping:
+    def test_stale_idle_streams_are_reaped(self, tmp_path):
+        async def scenario(daemon, client):
+            assert await client.ping() is True
+            await asyncio.sleep(0.15)
+            assert await client.ping() is True
+            assert client.pool.reaped == 1
+            assert client.pool.opened == 2
+
+        with_daemon(
+            tmp_path,
+            scenario,
+            client_kwargs={"pool_size": 4, "pool_idle_timeout": 0.05},
+        )
+
+
+class TestFaultInteraction:
+    def test_client_truncate_poisons_the_stream(self, tmp_path):
+        """A stream that carried a deliberately cut frame is discarded,
+        and the retry rides a new connection."""
+        plan = FaultPlan(
+            seed=5,
+            rules=[
+                FaultRule(
+                    kind="truncate", side="client", operation="ping", times=1
+                )
+            ],
+        )
+
+        async def scenario(daemon, client):
+            assert await client.ping() is True  # fault absorbed by retry
+            assert client.transport_failures == 1
+            poisoned_generation = daemon.connections_accepted
+            assert poisoned_generation == 2  # cut stream + its replacement
+            assert await client.ping() is True
+            # The replacement stream is healthy and was reused.
+            assert daemon.connections_accepted == poisoned_generation
+
+        with_daemon(
+            tmp_path,
+            scenario,
+            client_kwargs={"pool_size": 4, "fault_plan": plan},
+        )
+
+
+class TestPoolPrimitive:
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            ConnectionPool("127.0.0.1", 1, size=-1)
+
+    def test_release_never_pools_beyond_size(self, tmp_path):
+        async def scenario(daemon, client):
+            pool = ConnectionPool(*daemon.address, size=1)
+            first = await pool.acquire()
+            pool.release(first)
+            second = await pool.acquire()
+            assert second is first  # LIFO reuse
+            pool.release(second, discard=True)
+            assert pool.evicted == 0 and pool.opened == 1
+            await pool.aclose()
+
+        with_daemon(tmp_path, scenario)
+
+
+class TestEnvDefault:
+    def test_env_var_sets_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NET_POOL_SIZE", "0")
+        assert default_pool_size() == 0
+        assert PeerClient("127.0.0.1", 1).pool_size == 0
+        monkeypatch.setenv("REPRO_NET_POOL_SIZE", "7")
+        assert PeerClient("127.0.0.1", 1).pool_size == 7
+
+    def test_garbage_env_falls_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NET_POOL_SIZE", "many")
+        assert default_pool_size() == 4
+        monkeypatch.setenv("REPRO_NET_POOL_SIZE", "-3")
+        assert default_pool_size() == 4
+
+    def test_explicit_argument_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NET_POOL_SIZE", "0")
+        assert PeerClient("127.0.0.1", 1, pool_size=3).pool_size == 3
