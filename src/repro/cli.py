@@ -236,6 +236,7 @@ def cmd_info(args: argparse.Namespace) -> int:
 def cmd_simulate(args: argparse.Namespace) -> int:
     """Run a churn simulation and print the cost/durability summary."""
     import repro.codes as codes
+    from repro.codes.base import ReconstructError
     from repro.p2p.availability import ExponentialOnOff
     from repro.p2p.churn import ExponentialLifetime
     from repro.p2p.maintenance import EagerMaintenance, LazyMaintenance
@@ -303,8 +304,11 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         try:
             if not system.files[file_id].lost and system.restore_file(file_id) == data:
                 restored += 1
-        except Exception:
-            pass
+        except (ReconstructError, DecodingError):
+            # Churn destroyed too many blocks: counted as not restored in
+            # the summary.  Anything else (including KeyboardInterrupt on
+            # a long run) propagates instead of being silently eaten.
+            continue
 
     print(f"scheme: {scheme.name}, policy: {policy!r}, horizon: {horizon}")
     for key, value in system.metrics.summary().items():

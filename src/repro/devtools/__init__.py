@@ -1,0 +1,39 @@
+"""Project-aware developer tooling.
+
+The one tool that lives here today is **reprolint**
+(:mod:`repro.devtools.lint`): an AST-based linter whose rules encode the
+invariants generic linters cannot know about this codebase --
+
+- **RL1xx (asyncio)**: the networked subsystem is a concurrent asyncio
+  daemon/client/pool stack, so un-awaited coroutines, swallowed
+  cancellation, locks held across network awaits, and dropped
+  ``create_task`` handles are the bug classes that survive unit tests
+  and surface only under chaos load;
+- **RL2xx (GF domain)**: values produced by :mod:`repro.gf` live in
+  GF(2^q) -- plain integer ``+``/``*`` on them is silently wrong
+  arithmetic, and arrays fed to the field kernels must carry the field
+  dtype;
+- **RL3xx (wire protocol)**: the RGNP opcode table, the server dispatch,
+  and the client methods must not drift apart, and wire-format constants
+  have exactly one source of truth.
+
+Run it with ``python -m repro.devtools.lint src tests`` (see
+``docs/TESTING.md``, "Static analysis").  The imports here are lazy so
+``python -m repro.devtools.lint`` does not import the module twice.
+"""
+
+from __future__ import annotations
+
+__all__ = ["Finding", "LintReport", "run_lint"]
+
+
+def __getattr__(name: str):
+    if name in ("Finding", "LintReport"):
+        from repro.devtools import findings
+
+        return getattr(findings, name)
+    if name == "run_lint":
+        from repro.devtools.lint import run_lint
+
+        return run_lint
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

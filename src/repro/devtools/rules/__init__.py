@@ -1,0 +1,51 @@
+"""The reprolint rule registry.
+
+Three families, mirroring where this project's bugs actually live:
+
+- **RL1xx** asyncio (un-awaited coroutines, swallowed exceptions, locks
+  across network awaits, dropped task handles);
+- **RL2xx** GF(2^q) domain (plain arithmetic on field elements, raw
+  arrays into field kernels);
+- **RL3xx** wire protocol (opcode/dispatch/client drift, duplicated
+  wire-format constants).
+"""
+
+from __future__ import annotations
+
+from repro.devtools.rules.asyncio_rules import (
+    DroppedTaskRule,
+    LockAcrossNetworkAwaitRule,
+    SwallowedExceptionRule,
+    UnawaitedCoroutineRule,
+)
+from repro.devtools.rules.base import ProjectRule, Rule
+from repro.devtools.rules.gf_rules import PlainArithmeticOnGFRule, RawArrayIntoGFRule
+from repro.devtools.rules.protocol_rules import ProtocolDriftRule, WireConstantRule
+
+__all__ = ["Rule", "ProjectRule", "ALL_RULES", "RULE_CODES", "rule_table"]
+
+#: Every rule, instantiated once; the engine iterates this.
+ALL_RULES: tuple[Rule, ...] = (
+    UnawaitedCoroutineRule(),
+    SwallowedExceptionRule(),
+    LockAcrossNetworkAwaitRule(),
+    DroppedTaskRule(),
+    PlainArithmeticOnGFRule(),
+    RawArrayIntoGFRule(),
+    ProtocolDriftRule(),
+    WireConstantRule(),
+)
+
+
+def rule_table() -> list[tuple[str, str, str]]:
+    """``(code, name, description)`` rows for ``--list-rules``."""
+    rows = []
+    for rule in ALL_RULES:
+        codes = rule.codes if isinstance(rule, ProjectRule) and rule.codes else (rule.code,)
+        for code in codes:
+            rows.append((code, rule.name, rule.description))
+    return sorted(rows)
+
+
+#: Every code any rule can emit.
+RULE_CODES: frozenset = frozenset(code for code, _, _ in rule_table())

@@ -1,0 +1,217 @@
+"""RL2xx: GF(2^q) domain rules.
+
+Field elements are numpy integer arrays, so nothing in the type system
+stops ``+`` or ``*`` from running plain integer arithmetic on them --
+the result is well-formed garbage that only fails much later, as an
+undecodable piece.  These rules track values that *provably* came out of
+the :mod:`repro.gf` APIs and insist the field's own operations (XOR add,
+log-table multiply) are used on them, and that arrays fed *into* the
+field kernels carry an explicit dtype.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.findings import Finding
+from repro.devtools.rules.base import Rule, terminal_name
+from repro.devtools.tables import (
+    GF_CONSUMER_METHODS,
+    GF_FIELD_VALUE_METHODS,
+    GF_LINALG_FUNCTIONS,
+    NUMPY_CONSTRUCTORS,
+)
+
+__all__ = ["PlainArithmeticOnGFRule", "RawArrayIntoGFRule"]
+
+_BANNED_OPS = {
+    ast.Add: "+",
+    ast.Sub: "-",
+    ast.Mult: "*",
+    ast.Div: "/",
+    ast.FloorDiv: "//",
+    ast.Pow: "**",
+    ast.Mod: "%",
+}
+
+
+def _is_gf_producer(call: ast.Call) -> bool:
+    """True when ``call`` returns a GF element array.
+
+    Matches ``<...>.field.<method>(...)`` / ``field.<method>(...)`` for
+    the known ``GaloisField`` value methods, and the ``repro.gf.linalg``
+    functions by name (bare or module-qualified).
+    """
+    func = call.func
+    if isinstance(func, ast.Attribute):
+        if func.attr in GF_LINALG_FUNCTIONS:
+            return True
+        if func.attr in GF_FIELD_VALUE_METHODS:
+            receiver = terminal_name(func.value)
+            return receiver in ("field", "gf")
+        return False
+    if isinstance(func, ast.Name):
+        return func.id in GF_LINALG_FUNCTIONS
+    return False
+
+
+def _gf_consumer_name(call: ast.Call) -> str | None:
+    """The API name when ``call`` feeds arrays into a GF kernel."""
+    func = call.func
+    if isinstance(func, ast.Attribute):
+        if func.attr in GF_LINALG_FUNCTIONS:
+            return func.attr
+        if func.attr in GF_CONSUMER_METHODS and terminal_name(func.value) in (
+            "field",
+            "gf",
+        ):
+            return func.attr
+        return None
+    if isinstance(func, ast.Name) and func.id in GF_LINALG_FUNCTIONS:
+        return func.id
+    return None
+
+
+def _scopes(tree: ast.AST):
+    """Module scope plus each function scope, nested functions excluded
+    from their parent so taint does not leak across scopes."""
+    functions = [
+        node
+        for node in ast.walk(tree)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    ]
+    yield tree
+    yield from functions
+
+
+def _scope_nodes(scope: ast.AST):
+    """Walk one scope without descending into nested function bodies."""
+
+    def visit(node: ast.AST):
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)) and (
+                child is not node
+            ):
+                continue
+            yield from visit(child)
+
+    if isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        for stmt in scope.body:
+            yield from visit(stmt)
+    else:
+        for stmt in getattr(scope, "body", []):
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue
+            yield from visit(stmt)
+
+
+class PlainArithmeticOnGFRule(Rule):
+    """RL201: integer ``+``/``*``/... applied to a GF-domain value.
+
+    GF(2^q) addition is XOR and multiplication walks the log/exp tables;
+    numpy's integer operators silently compute something else entirely.
+    The taint is deliberately simple: a name assigned from a known GF
+    producer in the same scope, used on either side of an arithmetic
+    binary operator (directly or through a subscript).
+    """
+
+    code = "RL201"
+    name = "plain-arithmetic-on-gf"
+    description = "plain integer arithmetic on a value from the repro.gf APIs"
+    roles = frozenset({"src"})
+
+    def check(self, ctx) -> Iterator[Finding]:
+        for scope in _scopes(ctx.tree):
+            tainted: set[str] = set()
+            for node in _scope_nodes(scope):
+                if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+                    if _is_gf_producer(node.value):
+                        for target in node.targets:
+                            if isinstance(target, ast.Name):
+                                tainted.add(target.id)
+                    else:
+                        for target in node.targets:
+                            if isinstance(target, ast.Name):
+                                tainted.discard(target.id)
+                elif isinstance(node, ast.Assign):
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            tainted.discard(target.id)
+            if not tainted:
+                continue
+
+            def taints(node: ast.AST) -> str | None:
+                if isinstance(node, ast.Name) and node.id in tainted:
+                    return node.id
+                if isinstance(node, ast.Subscript):
+                    inner = node.value
+                    if isinstance(inner, ast.Name) and inner.id in tainted:
+                        return inner.id
+                return None
+
+            for node in _scope_nodes(scope):
+                if isinstance(node, ast.BinOp) and type(node.op) in _BANNED_OPS:
+                    name = taints(node.left) or taints(node.right)
+                    if name is not None:
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"`{name}` holds GF(2^q) elements but is combined "
+                            f"with plain `{_BANNED_OPS[type(node.op)]}`; use "
+                            f"field.add/field.multiply (or gf.linalg) instead",
+                        )
+                elif isinstance(node, ast.AugAssign) and type(node.op) in _BANNED_OPS:
+                    name = taints(node.target) or taints(node.value)
+                    if name is not None:
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"`{name}` holds GF(2^q) elements but is updated "
+                            f"with plain `{_BANNED_OPS[type(node.op)]}=`; use "
+                            f"the field operations instead",
+                        )
+
+
+class RawArrayIntoGFRule(Rule):
+    """RL202: a dtype-less numpy constructor fed straight into a GF API.
+
+    ``np.array([...])`` defaults to int64; the field kernels then cast
+    (or worse, the caller compares dtypes and silently copies).  Build
+    inputs with ``field.asarray``/``field.zeros`` or pass
+    ``dtype=field.dtype`` so GF(2^16) arrays are uint16 end to end.
+    """
+
+    code = "RL202"
+    name = "raw-array-into-gf"
+    description = "numpy constructor without dtype flows into a GF(2^q) API"
+    roles = frozenset({"src"})
+
+    def check(self, ctx) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            consumer = _gf_consumer_name(node)
+            if consumer is None:
+                continue
+            arguments = list(node.args) + [kw.value for kw in node.keywords]
+            for argument in arguments:
+                if not isinstance(argument, ast.Call):
+                    continue
+                func = argument.func
+                if not (
+                    isinstance(func, ast.Attribute)
+                    and terminal_name(func.value) in ("np", "numpy")
+                    and func.attr in NUMPY_CONSTRUCTORS
+                ):
+                    continue
+                if any(kw.arg == "dtype" for kw in argument.keywords):
+                    continue
+                yield self.finding(
+                    ctx,
+                    argument,
+                    f"`np.{func.attr}(...)` without an explicit dtype flows "
+                    f"into `{consumer}(...)`; use field.asarray/field.zeros "
+                    f"or pass dtype=field.dtype",
+                )

@@ -1,0 +1,283 @@
+"""RL3xx: wire-protocol rules.
+
+The RGNP protocol has three surfaces that must agree: the opcode table
+in ``protocol.py``, the dispatch in ``server.py``, and the typed request
+methods in ``client.py``.  Nothing ties them together at runtime -- a
+new opcode with no dispatch arm just answers BAD_REQUEST in production.
+These rules make the drift a lint failure instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.findings import Finding
+from repro.devtools.rules.base import ProjectRule, Rule, terminal_name
+from repro.devtools.tables import (
+    WIRE_MAGIC_LITERALS,
+    WIRE_SIZE_LITERALS,
+    WIRE_SOURCE_FILES,
+)
+
+__all__ = ["ProtocolDriftRule", "WireConstantRule"]
+
+
+def _message_classes(protocol_tree: ast.AST) -> dict[str, ast.ClassDef]:
+    """Message subclasses by name: classes with a class-level ``TYPE``
+    assignment referencing ``MessageType.<MEMBER>``."""
+    classes: dict[str, ast.ClassDef] = {}
+    for node in ast.walk(protocol_tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        for stmt in node.body:
+            value = None
+            if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+                if stmt.target.id == "TYPE":
+                    value = stmt.value
+            elif isinstance(stmt, ast.Assign) and any(
+                isinstance(t, ast.Name) and t.id == "TYPE" for t in stmt.targets
+            ):
+                value = stmt.value
+            if (
+                isinstance(value, ast.Attribute)
+                and terminal_name(value.value) == "MessageType"
+            ):
+                classes[node.name] = node
+                break
+    return classes
+
+
+def _enum_members(protocol_tree: ast.AST) -> dict[str, ast.stmt]:
+    """``MessageType`` members (name -> defining statement)."""
+    for node in ast.walk(protocol_tree):
+        if isinstance(node, ast.ClassDef) and node.name == "MessageType":
+            members: dict[str, ast.stmt] = {}
+            for stmt in node.body:
+                if isinstance(stmt, ast.Assign):
+                    for target in stmt.targets:
+                        if isinstance(target, ast.Name) and not target.id.startswith("_"):
+                            members[target.id] = stmt
+            return members
+    return {}
+
+
+def _type_members_used(classes: dict[str, ast.ClassDef]) -> dict[str, str]:
+    """class name -> the ``MessageType`` member its TYPE references."""
+    used: dict[str, str] = {}
+    for name, node in classes.items():
+        for stmt in node.body:
+            for child in ast.walk(stmt):
+                if (
+                    isinstance(child, ast.Attribute)
+                    and terminal_name(child.value) == "MessageType"
+                ):
+                    used[name] = child.attr
+    return used
+
+
+def _registry_entries(protocol_tree: ast.AST, classes: dict[str, ast.ClassDef]):
+    """Class names listed in the ``_REGISTRY`` assignment (None if no
+    registry assignment exists at all)."""
+    for node in ast.walk(protocol_tree):
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+        else:
+            continue
+        if any(
+            isinstance(t, ast.Name) and t.id.endswith("REGISTRY") for t in targets
+        ):
+            return (
+                {
+                    child.id
+                    for child in ast.walk(node.value)
+                    if isinstance(child, ast.Name) and child.id in classes
+                },
+                node,
+            )
+    return None, None
+
+
+def _constructed_classes(tree: ast.AST, classes: dict[str, ast.ClassDef]):
+    """Message classes instantiated in ``tree`` (name -> first call node)."""
+    constructed: dict[str, ast.Call] = {}
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in classes
+        ):
+            constructed.setdefault(node.func.id, node)
+    return constructed
+
+
+def _isinstance_arms(tree: ast.AST, classes: dict[str, ast.ClassDef]):
+    """Message classes appearing as the second argument of ``isinstance``
+    (name -> first such call node)."""
+    arms: dict[str, ast.Call] = {}
+    for node in ast.walk(tree):
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "isinstance"
+            and len(node.args) == 2
+        ):
+            continue
+        spec = node.args[1]
+        names = [spec] if not isinstance(spec, ast.Tuple) else list(spec.elts)
+        for name in names:
+            if isinstance(name, ast.Name) and name.id in classes:
+                arms.setdefault(name.id, node)
+    return arms
+
+
+class ProtocolDriftRule(ProjectRule):
+    """RL301 + RL302: the opcode table, registry, dispatch, and client
+    must stay in lockstep.
+
+    RL301 (protocol-internal): every ``MessageType`` member needs a
+    ``Message`` subclass carrying it as ``TYPE``, and every such class
+    must be listed in ``_REGISTRY`` (a class missing there decodes as
+    "unknown message type" on a live wire).
+
+    RL302 (cross-file): every message class the client constructs needs
+    an ``isinstance`` dispatch arm in ``server.py``, and every dispatch
+    arm needs a client that can actually send it -- drift in either
+    direction means dead code or BAD_REQUEST in production.
+    """
+
+    code = "RL301"
+    codes = ("RL301", "RL302")
+    name = "protocol-drift"
+    description = "opcode table, registry, server dispatch, and client methods agree"
+    roles = frozenset({"src"})
+
+    def check_project(self, ctxs) -> Iterator[Finding]:
+        by_dir: dict = {}
+        for ctx in ctxs:
+            by_dir.setdefault(ctx.path.parent, {})[ctx.path.name] = ctx
+        for directory, members in by_dir.items():
+            if not {"protocol.py", "server.py", "client.py"} <= set(members):
+                continue
+            yield from self._check_group(
+                members["protocol.py"], members["server.py"], members["client.py"]
+            )
+
+    def _check_group(self, protocol_ctx, server_ctx, client_ctx) -> Iterator[Finding]:
+        classes = _message_classes(protocol_ctx.tree)
+        enum_members = _enum_members(protocol_ctx.tree)
+        if not classes or not enum_members:
+            return
+        used_members = _type_members_used(classes)
+
+        # RL301: every opcode has a message class ...
+        for member, stmt in enum_members.items():
+            if member not in used_members.values():
+                yield self.finding_in(
+                    protocol_ctx,
+                    stmt,
+                    "RL301",
+                    f"opcode MessageType.{member} has no Message subclass "
+                    f"carrying it as TYPE; it cannot be framed or decoded",
+                )
+        # ... and every message class is registered for decoding.
+        registered, registry_node = _registry_entries(protocol_ctx.tree, classes)
+        if registered is not None:
+            for name, node in classes.items():
+                if name not in registered:
+                    yield self.finding_in(
+                        protocol_ctx,
+                        node,
+                        "RL301",
+                        f"message class {name} is missing from the decode "
+                        f"registry; inbound frames of this type raise "
+                        f"'unknown message type'",
+                    )
+
+        # RL302: client requests <-> server dispatch arms.
+        constructed = _constructed_classes(client_ctx.tree, classes)
+        arms = _isinstance_arms(server_ctx.tree, classes)
+        for name, node in constructed.items():
+            if name not in arms:
+                yield self.finding_in(
+                    client_ctx,
+                    node,
+                    "RL302",
+                    f"client sends {name} but server.py has no isinstance "
+                    f"dispatch arm for it; the daemon will answer BAD_REQUEST",
+                )
+        for name, node in arms.items():
+            if name not in constructed:
+                yield self.finding_in(
+                    server_ctx,
+                    node,
+                    "RL302",
+                    f"server.py dispatches {name} but no client method "
+                    f"constructs it; the arm is dead code (or the client "
+                    f"method is missing)",
+                )
+
+
+class WireConstantRule(Rule):
+    """RL303: wire-format constants spelled as literals outside their
+    source of truth.
+
+    ``b"RGNP"``, ``b"RGC1"``, and the ``1 << 28`` frame limit live in
+    ``repro.net.protocol`` / ``repro.core.serialization``; a duplicated
+    literal keeps compiling after the real constant changes and the two
+    ends of the wire quietly disagree.
+    """
+
+    code = "RL303"
+    name = "duplicated-wire-constant"
+    description = "wire-format magic/size literal duplicated outside its module"
+    roles = frozenset({"src"})
+
+    def check(self, ctx) -> Iterator[Finding]:
+        if ctx.path.name in WIRE_SOURCE_FILES:
+            return
+        parts = ctx.path.parts
+        if "devtools" in parts and "repro" in parts:
+            # the linter's own tables are the other place these literals
+            # may legitimately be spelled
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Constant) and isinstance(node.value, bytes):
+                if node.value in WIRE_MAGIC_LITERALS:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"magic literal {node.value!r} duplicates "
+                        f"{WIRE_MAGIC_LITERALS[node.value]}; import the "
+                        f"constant instead",
+                    )
+            elif isinstance(node, ast.Constant) and isinstance(node.value, int):
+                if node.value in WIRE_SIZE_LITERALS and not isinstance(
+                    node.value, bool
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"literal {node.value} duplicates "
+                        f"{WIRE_SIZE_LITERALS[node.value]}; import the "
+                        f"constant instead",
+                    )
+            elif (
+                isinstance(node, ast.BinOp)
+                and isinstance(node.op, ast.LShift)
+                and isinstance(node.left, ast.Constant)
+                and isinstance(node.right, ast.Constant)
+                and isinstance(node.left.value, int)
+                and isinstance(node.right.value, int)
+            ):
+                value = node.left.value << node.right.value
+                if value in WIRE_SIZE_LITERALS:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"`{node.left.value} << {node.right.value}` duplicates "
+                        f"{WIRE_SIZE_LITERALS[value]}; import the constant "
+                        f"instead",
+                    )

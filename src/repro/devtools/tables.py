@@ -1,0 +1,189 @@
+"""The project-knowledge tables the reprolint rules match against.
+
+Everything reprolint knows about *this* codebase -- which names are
+coroutines, which names produce GF(2^q) values, which byte strings are
+wire-format constants -- lives here, in one reviewable place.  Adding a
+new async API or a new field kernel means adding its name to the right
+set; the rules themselves never change.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ASYNC_MODULE_FUNCTIONS",
+    "ASYNCIO_COROUTINE_FUNCTIONS",
+    "ASYNC_METHODS",
+    "TASK_SPAWN_NAMES",
+    "NETWORK_AWAIT_NAMES",
+    "LOCK_NAME_HINTS",
+    "GF_FIELD_VALUE_METHODS",
+    "GF_LINALG_FUNCTIONS",
+    "GF_CONSUMER_METHODS",
+    "NUMPY_CONSTRUCTORS",
+    "WIRE_MAGIC_LITERALS",
+    "WIRE_SIZE_LITERALS",
+]
+
+#: Module-level coroutine functions of :mod:`repro.net.protocol`; calling
+#: one anywhere without ``await`` is always a bug (RL101).
+ASYNC_MODULE_FUNCTIONS = frozenset({"read_message", "write_message"})
+
+#: ``asyncio.<name>`` calls that return a coroutine/awaitable; discarding
+#: one is always a bug (RL101).
+ASYNCIO_COROUTINE_FUNCTIONS = frozenset(
+    {
+        "sleep",
+        "wait_for",
+        "gather",
+        "wait",
+        "open_connection",
+        "start_server",
+        "to_thread",
+    }
+)
+
+#: Method names that are ``async def`` on the repro.net surface
+#: (PeerClient, PeerDaemon, Coordinator, LocalCluster, ConnectionPool,
+#: StreamWriter/StreamReader).  Calling one as a bare statement inside an
+#: ``async def`` drops the coroutine un-awaited (RL101).  Names here must
+#: be unambiguous enough that a discarded *sync* call of the same name
+#: inside async code would itself be suspect.
+ASYNC_METHODS = frozenset(
+    {
+        # PeerClient
+        "ping",
+        "is_alive",
+        "store_piece",
+        "get_piece",
+        "get_coefficients",
+        "get_rows",
+        "repair_read",
+        "request",
+        "aclose",
+        # Coordinator
+        "insert",
+        "repair",
+        "reconstruct",
+        # PeerDaemon / LocalCluster
+        "serve_forever",
+        "kill",
+        "restart",
+        "spawn",
+        # streams / sync primitives
+        "drain",
+        "wait_closed",
+        "readexactly",
+        "acquire",
+    }
+)
+
+#: Call names that spawn a task whose handle must be kept (RL104).
+TASK_SPAWN_NAMES = frozenset({"create_task", "ensure_future"})
+
+#: Awaited call names that perform network I/O; holding a lock or
+#: semaphore across one of these serializes the swarm behind a single
+#: slow peer (RL103).
+NETWORK_AWAIT_NAMES = frozenset(
+    {
+        "read_message",
+        "write_message",
+        "open_connection",
+        "drain",
+        "readexactly",
+        "sendall",
+        "connect",
+        "request",
+        "ping",
+        "store_piece",
+        "get_piece",
+        "get_coefficients",
+        "get_rows",
+        "repair_read",
+        "_converse",
+        "_request_once",
+    }
+)
+
+#: Substrings identifying a context-manager expression as a mutual
+#: exclusion primitive in ``async with`` (RL103).
+LOCK_NAME_HINTS = ("lock", "sem", "mutex")
+
+#: ``GaloisField`` methods whose return value is a GF(2^q) element array;
+#: plain integer arithmetic on such a value is wrong arithmetic (RL201).
+GF_FIELD_VALUE_METHODS = frozenset(
+    {
+        "add",
+        "subtract",
+        "multiply",
+        "multiply_direct",
+        "divide",
+        "inverse_elements",
+        "power",
+        "exp",
+        "scale",
+        "axpy",
+        "linear_combination",
+        "random",
+        "random_nonzero",
+        "zeros",
+        "ones",
+        "eye",
+        "asarray",
+        "bytes_to_elements",
+    }
+)
+
+#: :mod:`repro.gf.linalg` functions whose return value lives in the field
+#: (RL201) and whose array arguments must carry the field dtype (RL202).
+GF_LINALG_FUNCTIONS = frozenset(
+    {
+        "gf_matmul",
+        "gf_matvec",
+        "rref",
+        "inverse",
+        "solve",
+        "nullspace_vector",
+        "random_matrix",
+        "random_invertible_matrix",
+        "extract_and_invert",
+    }
+)
+
+#: ``GaloisField`` methods that *consume* element arrays: feeding them a
+#: raw numpy constructor without an explicit dtype risks silent uint8 /
+#: uint16 truncation against GF(2^16) tables (RL202).
+GF_CONSUMER_METHODS = frozenset(
+    {
+        "add",
+        "subtract",
+        "multiply",
+        "multiply_direct",
+        "divide",
+        "scale",
+        "axpy",
+        "linear_combination",
+        "elements_to_bytes",
+    }
+)
+
+#: numpy array constructors RL202 refuses to see inline (dtype-less) in a
+#: GF API argument position.
+NUMPY_CONSTRUCTORS = frozenset(
+    {"array", "asarray", "zeros", "ones", "empty", "full", "arange"}
+)
+
+#: Byte literals that duplicate a wire-format source of truth (RL303).
+WIRE_MAGIC_LITERALS = {
+    b"RGNP": "repro.net.protocol.PROTOCOL_MAGIC",
+    b"RGC1": "repro.core.serialization.MAGIC",
+}
+
+#: Integer literals (including ``1 << 28`` spellings) that duplicate the
+#: frame-size limit (RL303).
+WIRE_SIZE_LITERALS = {
+    1 << 28: "repro.net.protocol.MAX_BODY_BYTES",
+}
+
+#: Files that *define* the wire-format constants and are therefore
+#: allowed to spell them as literals.
+WIRE_SOURCE_FILES = frozenset({"protocol.py", "serialization.py"})

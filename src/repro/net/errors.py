@@ -18,6 +18,11 @@ The split mirrors where a failure is detected:
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Iterable, Mapping
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.net.coordinator import PeerAddress
+
 __all__ = [
     "NetError",
     "ProtocolError",
@@ -44,7 +49,9 @@ class RemoteError(NetError):
     original server-side description is in ``args[0]``.
     """
 
-    def __init__(self, code: int, message: str):
+    code: int
+
+    def __init__(self, code: int, message: str) -> None:
         super().__init__(message)
         self.code = code
 
@@ -63,7 +70,15 @@ class InsufficientPeersError(NetError):
     for cleanup); ``unplaced`` lists the piece indices left homeless.
     """
 
-    def __init__(self, message: str, placed=None, unplaced=()):
+    placed: dict[int, PeerAddress]
+    unplaced: tuple[int, ...]
+
+    def __init__(
+        self,
+        message: str,
+        placed: Mapping[int, PeerAddress] | None = None,
+        unplaced: Iterable[int] = (),
+    ) -> None:
         super().__init__(message)
         self.placed = dict(placed or {})
         self.unplaced = tuple(unplaced)

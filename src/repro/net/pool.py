@@ -33,9 +33,12 @@ tests and CLIs that tear their event loop down immediately after use.
 from __future__ import annotations
 
 import asyncio
+import logging
 import time
 
 __all__ = ["ConnectionPool", "PooledConnection"]
+
+logger = logging.getLogger(__name__)
 
 
 class PooledConnection:
@@ -174,8 +177,10 @@ class ConnectionPool:
                 transport.abort()
             else:  # pragma: no cover - transport already detached
                 conn.writer.close()
-        except Exception:  # noqa: BLE001 - teardown must never raise
-            pass
+        except Exception as exc:  # noqa: BLE001 - teardown must never raise
+            logger.debug(
+                "aborting pooled stream to %s:%d failed: %r", self.host, self.port, exc
+            )
 
     async def aclose(self) -> None:
         """Close every idle stream; further checkins are discarded.
@@ -190,12 +195,14 @@ class ConnectionPool:
         for conn in idle:
             try:
                 conn.writer.close()
-            except Exception:  # noqa: BLE001 - teardown must never raise
+            except Exception as exc:  # noqa: BLE001 - teardown must never raise
+                logger.debug("closing pooled stream failed: %r", exc)
                 continue
         for conn in idle:
             try:
                 await conn.writer.wait_closed()
-            except Exception:  # noqa: BLE001 - peer may already be gone
+            except Exception as exc:  # noqa: BLE001 - peer may already be gone
+                logger.debug("waiting for pooled stream close failed: %r", exc)
                 continue
 
     def abandon(self) -> None:

@@ -137,7 +137,7 @@ def _unpack_key(body: bytes, offset: int = 0) -> tuple[str, int]:
 class Message:
     """Base class: each concrete message knows its body layout."""
 
-    TYPE: ClassVar = None  # overridden per subclass
+    TYPE: ClassVar[MessageType | None] = None  # overridden per subclass
 
     def encode_body(self) -> bytes:
         return b""
@@ -236,7 +236,7 @@ class PieceData(Message):
 class GetRows(Message):
     TYPE: ClassVar[MessageType] = MessageType.GET_ROWS
     key: str = ""
-    rows: tuple = ()
+    rows: tuple[int, ...] = ()
 
     def encode_body(self) -> bytes:
         return (

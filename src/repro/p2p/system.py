@@ -21,7 +21,14 @@ import itertools
 
 import numpy as np
 
-from repro.codes.base import Block, EncodedObject, RedundancyScheme, RepairError
+from repro.codes.base import (
+    Block,
+    EncodedObject,
+    ReconstructError,
+    RedundancyScheme,
+    RepairError,
+)
+from repro.core.regenerating import DecodingError
 from repro.p2p.availability import AlwaysOnline, AvailabilityModel
 from repro.p2p.churn import ExponentialLifetime, LifetimeModel
 from repro.p2p.events import EventQueue
@@ -453,7 +460,11 @@ class BackupSystem:
             return
         try:
             data = self.scheme.reconstruct(stored.encoded, list(live.values()))
-        except Exception:
+        except (ReconstructError, DecodingError):
+            # The live blocks do not span the file -- the one failure
+            # this fallback is allowed to absorb.  A genuine defect
+            # (TypeError, shape mismatch) or a KeyboardInterrupt must
+            # propagate, not masquerade as a repair failure.
             self.metrics.record_repair_failure()
             # Only a *durability* failure loses the file; blocks parked on
             # offline-but-alive peers still count as surviving.

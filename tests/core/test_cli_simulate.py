@@ -73,3 +73,33 @@ class TestSimulate:
         )
         assert code == 0
         assert "2/2" in out
+
+
+class TestRestoreLoopExceptionPolicy:
+    """Regression for the old ``except Exception: pass`` around the
+    restore loop: expected decode failures count as not-restored, while
+    genuine defects propagate instead of being eaten."""
+
+    def test_reconstruct_error_counts_as_not_restored(self, capsys, monkeypatch):
+        from repro.codes.base import ReconstructError
+        from repro.p2p.system import BackupSystem
+
+        def boom(self, file_id):
+            raise ReconstructError("churn destroyed too many blocks")
+
+        monkeypatch.setattr(BackupSystem, "restore_file", boom)
+        code, out = run(
+            capsys, "--scheme", "rc", "-k", "4", "-H", "4", "-d", "5", "-i", "1"
+        )
+        assert code == 2
+        assert "0/2" in out
+
+    def test_unexpected_defect_propagates(self, capsys, monkeypatch):
+        from repro.p2p.system import BackupSystem
+
+        def boom(self, file_id):
+            raise TypeError("genuine bug, must not be swallowed")
+
+        monkeypatch.setattr(BackupSystem, "restore_file", boom)
+        with pytest.raises(TypeError):
+            run(capsys, "--scheme", "rc", "-k", "4", "-H", "4", "-d", "5", "-i", "1")

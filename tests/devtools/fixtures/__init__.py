@@ -1,0 +1,4 @@
+# Deliberately buggy/clean fixture modules for the reprolint test
+# suite.  The `fixtures` directory name is excluded from whole-tree
+# lint walks (see DEFAULT_EXCLUDED_DIRS); the tests lint these files by
+# passing their paths explicitly.

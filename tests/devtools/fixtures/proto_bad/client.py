@@ -1,0 +1,14 @@
+"""Drifted client: sends Fetch, which the server never dispatches."""
+
+from .protocol import Fetch, Ping
+
+
+class Client:
+    async def ping(self):
+        return await self._request(Ping())
+
+    async def fetch(self, key):
+        return await self._request(Fetch(key))  # RL302: no dispatch arm
+
+    async def _request(self, message):
+        raise NotImplementedError

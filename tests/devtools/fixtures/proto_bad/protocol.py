@@ -1,0 +1,34 @@
+"""A drifted protocol module: an orphan opcode and an unregistered class."""
+
+import enum
+
+
+class MessageType(enum.IntEnum):
+    PING = 1
+    OK = 2
+    FETCH = 3
+    LEGACY = 4
+    ORPHAN = 5  # RL301: no Message subclass carries this opcode
+
+
+class Message:
+    TYPE = None
+
+
+class Ping(Message):
+    TYPE = MessageType.PING
+
+
+class Ok(Message):
+    TYPE = MessageType.OK
+
+
+class Fetch(Message):  # RL301: missing from _REGISTRY below
+    TYPE = MessageType.FETCH
+
+
+class Legacy(Message):
+    TYPE = MessageType.LEGACY
+
+
+_REGISTRY = {int(cls.TYPE): cls for cls in (Ping, Ok, Legacy)}

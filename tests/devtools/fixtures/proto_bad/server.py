@@ -1,0 +1,12 @@
+"""Drifted dispatch: handles Legacy (which nothing sends), misses Fetch."""
+
+from .protocol import Legacy, Ok, Ping
+
+
+class Server:
+    def dispatch(self, request):
+        if isinstance(request, Ping):
+            return Ok()
+        if isinstance(request, Legacy):  # RL302: no client constructs Legacy
+            return Ok()
+        return None

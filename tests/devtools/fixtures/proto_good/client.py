@@ -1,0 +1,14 @@
+"""A typed client method per request opcode: in lockstep with server.py."""
+
+from .protocol import Fetch, Ping
+
+
+class Client:
+    async def ping(self):
+        return await self._request(Ping())
+
+    async def fetch(self, key):
+        return await self._request(Fetch(key=key))
+
+    async def _request(self, message):
+        raise NotImplementedError

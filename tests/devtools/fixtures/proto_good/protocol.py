@@ -1,0 +1,31 @@
+"""A miniature, internally consistent RGNP-style protocol module."""
+
+import enum
+
+
+class MessageType(enum.IntEnum):
+    PING = 1
+    OK = 2
+    FETCH = 3
+
+
+class Message:
+    TYPE = None
+
+
+class Ping(Message):
+    TYPE = MessageType.PING
+
+
+class Ok(Message):
+    TYPE = MessageType.OK
+
+
+class Fetch(Message):
+    TYPE = MessageType.FETCH
+
+    def __init__(self, key=""):
+        self.key = key
+
+
+_REGISTRY = {int(cls.TYPE): cls for cls in (Ping, Ok, Fetch)}

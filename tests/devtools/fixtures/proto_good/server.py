@@ -1,0 +1,15 @@
+"""Dispatch arm per request opcode: in lockstep with client.py."""
+
+from .protocol import Fetch, Ok, Ping
+
+
+class Server:
+    def dispatch(self, request):
+        if isinstance(request, Ping):
+            return Ok()
+        if isinstance(request, Fetch):
+            return self._fetch(request)
+        return None
+
+    def _fetch(self, request):
+        return Ok()

@@ -1,0 +1,20 @@
+"""RL101 fixture: coroutines built and dropped."""
+
+import asyncio
+
+from repro.net.protocol import Ping, read_message, write_message
+
+
+async def forgets_client_await(client):
+    client.store_piece("file/0", b"blob")  # line 9: dropped coroutine
+    response = client.request(Ping())  # assigned, not a bare statement: not RL101
+    return response
+
+
+async def forgets_sleep():
+    asyncio.sleep(0.1)  # line 15: dropped awaitable
+
+
+def sync_module_function(writer, reader, message):
+    write_message(writer, message)  # line 19: dropped even in sync code
+    read_message(reader)  # line 20: dropped even in sync code

@@ -1,0 +1,25 @@
+"""RL101 fixture: the same calls, correctly awaited or handled."""
+
+import asyncio
+
+from repro.net.protocol import Ping, read_message, write_message
+
+
+async def awaits_properly(client, writer, reader, message):
+    await client.store_piece("file/0", b"blob")
+    await write_message(writer, message)
+    await asyncio.sleep(0.1)
+    return await read_message(reader)
+
+
+async def sync_call_of_same_name_elsewhere(simulator):
+    # `insert` is in the async table, but using the result keeps it
+    # out of RL101's bare-statement pattern.
+    file_id = simulator.insert(b"data")
+    return file_id
+
+
+def sync_context(peer):
+    # Outside async code, method names from the async table are not
+    # flagged (the simulator has sync methods of the same names).
+    peer.repair(None, {}, 0)

@@ -1,0 +1,35 @@
+"""RL102 fixture: broad handlers that re-raise or use the exception."""
+
+import logging
+
+logger = logging.getLogger(__name__)
+
+
+def narrow(risky):
+    try:
+        risky()
+    except (ValueError, KeyError):
+        return None
+
+
+def uses_binding(risky):
+    try:
+        risky()
+    except Exception as exc:
+        logger.exception("risky failed: %r", exc)
+        return None
+
+
+def reraises(risky, cleanup):
+    try:
+        risky()
+    except BaseException:
+        cleanup()
+        raise
+
+
+def wraps(risky):
+    try:
+        risky()
+    except Exception as exc:
+        raise RuntimeError("risky failed") from exc

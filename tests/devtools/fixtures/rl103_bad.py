@@ -1,0 +1,21 @@
+"""RL103 fixture: mutual exclusion held across network awaits."""
+
+from repro.net.protocol import read_message, write_message
+
+
+class Holder:
+    def __init__(self, lock, semaphore):
+        self._lock = lock
+        self._semaphore = semaphore
+
+    async def writes_under_lock(self, writer, message):
+        async with self._lock:
+            await write_message(writer, message)  # line 13: I/O under lock
+
+    async def reads_under_semaphore(self, reader):
+        async with self._semaphore:
+            return await read_message(reader)  # line 17: I/O under semaphore
+
+    async def client_call_under_lock(self, client, key):
+        async with self._lock:
+            return await client.get_piece(key)  # line 21: request under lock

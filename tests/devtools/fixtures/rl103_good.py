@@ -1,0 +1,26 @@
+"""RL103 fixture: compute under the lock, talk to the network outside."""
+
+import asyncio
+
+from repro.net.protocol import write_message
+
+
+class Holder:
+    def __init__(self, lock):
+        self._lock = lock
+        self._pending = []
+
+    async def snapshot_then_send(self, writer, message):
+        async with self._lock:
+            self._pending.append(message)  # pure state mutation under lock
+            queued = list(self._pending)
+        for item in queued:
+            await write_message(writer, item)  # I/O outside the lock
+
+    async def sleep_under_lock_is_not_network(self):
+        async with self._lock:
+            await asyncio.sleep(0)  # a checkpoint, not network I/O
+
+    async def non_lock_context_manager(self, server, writer, message):
+        async with server:  # not a lock: name carries no lock hint
+            await write_message(writer, message)

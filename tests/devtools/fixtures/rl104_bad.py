@@ -1,0 +1,12 @@
+"""RL104 fixture: task handles dropped on the floor."""
+
+import asyncio
+
+
+async def fire_and_forget(handler):
+    asyncio.create_task(handler())  # line 7: handle dropped
+
+
+async def ensure_and_forget(loop, handler):
+    asyncio.ensure_future(handler())  # line 11: handle dropped
+    loop.create_task(handler())  # line 12: handle dropped

@@ -1,0 +1,16 @@
+"""RL104 fixture: task handles tracked or awaited."""
+
+import asyncio
+
+
+class Tracked:
+    def __init__(self):
+        self._handlers = set()
+
+    async def spawn(self, handler):
+        task = asyncio.create_task(handler())
+        self._handlers.add(task)
+        task.add_done_callback(self._handlers.discard)
+
+    async def await_directly(self, handler):
+        await asyncio.create_task(handler())

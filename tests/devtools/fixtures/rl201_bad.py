@@ -1,0 +1,25 @@
+"""RL201 fixture: plain integer arithmetic on GF-domain values."""
+
+from repro.gf.linalg import gf_matmul
+
+
+def mixes_domains(field, a, b):
+    product = field.multiply(a, b)
+    total = product + a  # line 8: integer add on field elements
+    return total
+
+
+def scales_wrong(field, coefficients, vectors):
+    combined = field.linear_combination(coefficients, vectors)
+    combined *= 2  # line 14: integer scaling on field elements
+    return combined
+
+
+def matmul_then_subtract(field, m, x):
+    result = gf_matmul(field, m, x)
+    return result - x  # line 20: integer subtract on field elements
+
+
+def subscript_is_still_tainted(field, a, b):
+    row = field.random((4, 4), None)
+    return row[0] * 3  # line 25: integer multiply on a field row

@@ -1,0 +1,26 @@
+"""RL201 fixture: the field's own operations, and untainted arithmetic."""
+
+from repro.gf.linalg import gf_matmul
+
+
+def stays_in_domain(field, a, b):
+    product = field.multiply(a, b)
+    total = field.add(product, a)  # field op, not integer +
+    return total
+
+
+def shape_arithmetic_is_fine(field, m, x):
+    result = gf_matmul(field, m, x)
+    rows = result.shape[0] + 1  # attribute access breaks taint: plain int
+    return rows
+
+
+def reassignment_clears_taint(field, a, b):
+    value = field.multiply(a, b)
+    value = len(b)  # rebound to a plain int
+    return value + 1
+
+
+def xor_is_field_addition(field, a, b):
+    mixed = field.multiply(a, b)
+    return mixed ^ a  # XOR *is* GF(2^q) addition; allowed

@@ -1,0 +1,17 @@
+"""RL202 fixture: dtype-less numpy constructors fed into GF APIs."""
+
+import numpy as np
+
+from repro.gf.linalg import gf_matmul
+
+
+def raw_array_argument(field, vectors):
+    return field.linear_combination(np.array([1, 2, 3]), vectors)  # line 9
+
+
+def raw_zeros_into_matmul(field, m):
+    return gf_matmul(field, m, np.zeros((4, 4)))  # line 13
+
+
+def raw_keyword_argument(field, a):
+    return field.multiply(a, b=np.asarray([5, 6]))  # line 17

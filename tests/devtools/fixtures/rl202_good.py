@@ -1,0 +1,23 @@
+"""RL202 fixture: arrays built with the field dtype (or by the field)."""
+
+import numpy as np
+
+from repro.gf.linalg import gf_matmul
+
+
+def explicit_dtype(field, vectors):
+    coefficients = np.array([1, 2, 3], dtype=field.dtype)
+    return field.linear_combination(coefficients, vectors)
+
+
+def field_constructors(field, m):
+    return gf_matmul(field, m, field.zeros((4, 4)))
+
+
+def inline_with_dtype(field, a):
+    return field.multiply(a, np.asarray([5, 6], dtype=field.dtype))
+
+
+def unrelated_numpy_call(values):
+    # numpy without a GF consumer in sight: none of reprolint's business
+    return np.array(values).sum()

@@ -1,0 +1,18 @@
+"""RL303 fixture: wire-format constants duplicated as literals."""
+
+import struct
+
+
+def frame_by_hand(msg_type, body):
+    header = struct.pack("<4sBBBBI", b"RGNP", 1, msg_type, 0, 0, len(body))  # line 7
+    return header + body
+
+
+def piece_magic():
+    return b"RGC1"  # line 12
+
+
+def size_guard(n):
+    if n > 1 << 28:  # line 16
+        raise ValueError("too big")
+    return n > 268435456  # line 18

@@ -1,0 +1,20 @@
+"""RL303 fixture: the constants referenced from their source of truth."""
+
+import struct
+
+from repro.core.serialization import MAGIC
+from repro.net.protocol import MAX_BODY_BYTES, PROTOCOL_MAGIC
+
+
+def frame_by_hand(msg_type, body):
+    return struct.pack("<4sBBBBI", PROTOCOL_MAGIC, 1, msg_type, 0, 0, len(body)) + body
+
+
+def piece_magic():
+    return MAGIC
+
+
+def size_guard(n):
+    if n > MAX_BODY_BYTES:
+        raise ValueError("too big")
+    return 1 << 20  # a different shift: not the frame limit

@@ -1,0 +1,24 @@
+"""Suppression fixture: violations silenced per line, one left live.
+
+Policy reminder (docs/TESTING.md): disables are for deliberate,
+commented exceptions -- pre-existing defects get fixed, not suppressed.
+"""
+
+import asyncio
+
+
+async def justified_fire_and_forget(handler):
+    # The loop owns this task's lifetime in this (contrived) scenario.
+    asyncio.create_task(handler())  # reprolint: disable=RL104
+
+
+async def multi_code_suppression(handler):
+    asyncio.create_task(handler())  # reprolint: disable=RL101,RL104
+
+
+async def suppress_all(handler):
+    asyncio.create_task(handler())  # reprolint: disable=all
+
+
+async def still_caught(handler):
+    asyncio.create_task(handler())  # wrong code: # reprolint: disable=RL101

@@ -1,0 +1,154 @@
+"""CLI, suppression, selection, and JSON-report tests for reprolint."""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.devtools.findings import REPORT_SCHEMA_VERSION
+from repro.devtools.lint import collect_files, main, run_lint
+from repro.devtools.rules import RULE_CODES
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+
+
+# ------------------------------------------------------------ exit codes
+
+
+def test_exit_zero_on_clean_file(capsys):
+    code = main([str(FIXTURES / "rl101_good.py"), "--force-role", "src"])
+    assert code == 0
+    assert "0 finding(s)" in capsys.readouterr().err
+
+
+def test_exit_one_with_rendered_findings(capsys):
+    code = main([str(FIXTURES / "rl104_bad.py"), "--force-role", "src"])
+    captured = capsys.readouterr()
+    assert code == 1
+    lines = captured.out.strip().splitlines()
+    assert len(lines) == 3
+    # the classic path:line:col CODE message shape
+    assert lines[0].startswith(f"{FIXTURES / 'rl104_bad.py'}:7:5 RL104 ")
+
+
+def test_exit_two_without_paths(capsys):
+    assert main([]) == 2
+    assert "no paths given" in capsys.readouterr().err
+
+
+def test_exit_two_on_unknown_rule_code(capsys):
+    code = main([str(FIXTURES / "rl104_bad.py"), "--select", "RL999"])
+    assert code == 2
+    assert "unknown rule code" in capsys.readouterr().err
+
+
+def test_exit_two_on_missing_path(capsys):
+    code = main([str(FIXTURES / "does_not_exist")])
+    assert code == 2
+
+
+def test_list_rules_prints_every_code(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for code in RULE_CODES:
+        assert code in out
+
+
+# ------------------------------------------------------------ suppression
+
+
+def test_disable_comments_suppress_exact_codes():
+    report = run_lint([FIXTURES / "suppressed.py"], force_role="src")
+    # three deliberate disables recorded, one live finding where the
+    # comment names the wrong code
+    assert [f.line for f in report.suppressed] == [12, 16, 20]
+    assert all(f.code == "RL104" for f in report.suppressed)
+    assert [(f.code, f.line) for f in report.findings] == [("RL104", 24)]
+
+
+def test_suppressed_findings_still_visible_in_json(capsys):
+    code = main(
+        [str(FIXTURES / "suppressed.py"), "--force-role", "src", "--format", "json"]
+    )
+    assert code == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert len(payload["suppressed"]) == 3
+    assert len(payload["findings"]) == 1
+
+
+# ------------------------------------------------------------ select/ignore
+
+
+def test_select_by_family_prefix():
+    report = run_lint(
+        [FIXTURES / "rl104_bad.py", FIXTURES / "rl201_bad.py"],
+        force_role="src",
+        select=["RL2"],
+    )
+    assert {f.code for f in report.findings} == {"RL201"}
+
+
+def test_ignore_single_code():
+    report = run_lint(
+        [FIXTURES / "rl104_bad.py"], force_role="src", ignore=["RL104"]
+    )
+    assert report.findings == []
+    assert report.exit_code == 0
+
+
+# ------------------------------------------------------------ JSON schema
+
+
+def test_json_report_schema(capsys):
+    code = main(
+        [str(FIXTURES / "rl104_bad.py"), "--force-role", "src", "--format", "json"]
+    )
+    assert code == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert set(payload) == {
+        "schema_version",
+        "files_checked",
+        "findings",
+        "suppressed",
+        "errors",
+    }
+    assert payload["schema_version"] == REPORT_SCHEMA_VERSION
+    assert payload["files_checked"] == 1
+    for finding in payload["findings"]:
+        assert set(finding) == {"path", "line", "col", "code", "message"}
+        assert finding["code"] == "RL104"
+
+
+# ------------------------------------------------------------ parse errors
+
+
+def test_unparseable_file_reported_as_rl000(tmp_path):
+    broken = tmp_path / "broken.py"
+    broken.write_text("def oops(:\n", encoding="utf-8")
+    report = run_lint([broken])
+    assert report.findings == []
+    assert [error.code for error in report.errors] == ["RL000"]
+    assert report.exit_code == 1
+
+
+# ------------------------------------------------------------ file walking
+
+
+def test_directory_walk_skips_fixture_dir():
+    walked = collect_files([FIXTURES.parent])
+    assert all("fixtures" not in path.parts for path in walked)
+
+
+def test_explicit_file_bypasses_exclusions():
+    target = FIXTURES / "rl104_bad.py"
+    assert collect_files([target]) == [target]
+
+
+def test_role_inferred_from_path_for_directories():
+    # Under tests/ the GF-domain rules are off by default, so a bad GF
+    # fixture linted *without* --force-role stays quiet ...
+    report = run_lint([FIXTURES / "rl201_bad.py"])
+    assert report.findings == []
+    # ... while the asyncio family applies to both roles.
+    report = run_lint([FIXTURES / "rl104_bad.py"])
+    assert len(report.findings) == 3

@@ -1,0 +1,23 @@
+"""The acceptance gate: reprolint over the real tree must be clean.
+
+This is the test-suite form of ``python -m repro.devtools.lint src
+tests`` exiting 0 -- any rule regression or new defect in the codebase
+fails here before CI even runs the standalone lint step.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.devtools.lint import run_lint
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+
+def test_reprolint_is_clean_on_the_real_tree():
+    report = run_lint([REPO_ROOT / "src", REPO_ROOT / "tests"])
+    assert [f.render() for f in report.findings] == []
+    assert [f.render() for f in report.errors] == []
+    assert report.exit_code == 0
+    # sanity: the walk actually saw the codebase, not an empty dir
+    assert report.files_checked > 100

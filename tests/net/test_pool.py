@@ -225,3 +225,54 @@ class TestEnvDefault:
     def test_explicit_argument_beats_env(self, monkeypatch):
         monkeypatch.setenv("REPRO_NET_POOL_SIZE", "0")
         assert PeerClient("127.0.0.1", 1, pool_size=3).pool_size == 3
+
+
+class _ExplodingWriter:
+    """A writer whose teardown surface raises, as after a loop is gone."""
+
+    def __init__(self):
+        self.transport = self
+
+    def abort(self):
+        raise RuntimeError("transport already torn down")
+
+    def close(self):
+        raise RuntimeError("transport already torn down")
+
+    async def wait_closed(self):
+        raise ConnectionResetError("peer vanished")
+
+    def is_closing(self):
+        return False
+
+
+class TestTeardownNeverRaises:
+    """Regression: teardown failures are debug-logged, not swallowed
+    bare and not propagated (the old handlers were ``except Exception:
+    pass``, reprolint RL102's very first catches)."""
+
+    def test_abort_logs_and_survives_raising_transport(self, caplog):
+        import logging
+
+        from repro.net.pool import PooledConnection
+
+        pool = ConnectionPool("127.0.0.1", 9, size=1)
+        conn = PooledConnection(reader=None, writer=_ExplodingWriter())
+        with caplog.at_level(logging.DEBUG, logger="repro.net.pool"):
+            pool._abort(conn)  # must not raise
+        assert "aborting pooled stream" in caplog.text
+
+    def test_aclose_logs_and_survives_raising_streams(self, caplog):
+        import logging
+
+        from repro.net.pool import PooledConnection
+
+        pool = ConnectionPool("127.0.0.1", 9, size=2)
+        pool._idle = [
+            PooledConnection(reader=None, writer=_ExplodingWriter()),
+            PooledConnection(reader=None, writer=_ExplodingWriter()),
+        ]
+        with caplog.at_level(logging.DEBUG, logger="repro.net.pool"):
+            asyncio.run(pool.aclose())  # must not raise
+        assert "closing pooled stream failed" in caplog.text
+        assert pool._idle == []

@@ -320,3 +320,44 @@ class TestPeriodicMaintenance:
         before = len(system.queue)
         system.run(100.0)
         assert system.metrics.repairs_completed == 0
+
+
+class TestRepairFallbackExceptionPolicy:
+    """Regression for the old blanket ``except Exception`` in
+    ``_repair_fallback``: only decode failures are absorbed as repair
+    failures; genuine defects propagate."""
+
+    def _system_with_file(self):
+        system = BackupSystem(rc_scheme(seed=10, d=7), quiet_config(initial_peers=30))
+        file_id = system.insert_file(payload())
+        stored = system.files[file_id]
+        return system, stored
+
+    def test_reconstruct_error_recorded_as_repair_failure(self, monkeypatch):
+        from repro.codes.base import ReconstructError
+
+        system, stored = self._system_with_file()
+        monkeypatch.setattr(
+            system.scheme,
+            "reconstruct",
+            lambda encoded, blocks: (_ for _ in ()).throw(
+                ReconstructError("blocks do not span the file")
+            ),
+        )
+        before = system.metrics.repairs_failed
+        live = stored.live_blocks(system.peers)
+        system._repair_fallback(stored, 0, live)  # must not raise
+        assert system.metrics.repairs_failed == before + 1
+
+    def test_unexpected_defect_propagates(self, monkeypatch):
+        system, stored = self._system_with_file()
+        monkeypatch.setattr(
+            system.scheme,
+            "reconstruct",
+            lambda encoded, blocks: (_ for _ in ()).throw(
+                TypeError("genuine bug, must not be swallowed")
+            ),
+        )
+        live = stored.live_blocks(system.peers)
+        with pytest.raises(TypeError):
+            system._repair_fallback(stored, 0, live)
