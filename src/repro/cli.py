@@ -16,6 +16,10 @@ Subcommands mirror the paper's life cycle, on disk and over the wire:
                   --newcomer host3:9470
     repro net get --manifest file.netmanifest.json --out restored.bin
 
+    repro scenario run --model diurnal --seed 7 --peers 6 --windows 8 \
+                  --report scenario.json
+    repro scenario replay scenario.json
+
 Pieces use the versioned binary format of
 :mod:`repro.core.serialization`; the manifest is a small JSON file with
 the code parameters and original file size (plus, for ``net``, the
@@ -516,6 +520,140 @@ def cmd_advise(args: argparse.Namespace) -> int:
     return 0
 
 
+def _scenario_runner_from_meta(meta: dict, root):
+    """Rebuild the exact (schedule, runner) pair a report's meta describes."""
+    from repro.scenario import ScenarioRunner, compile_model
+
+    schedule = compile_model(
+        meta["model"],
+        peers=meta["peers"],
+        windows=meta["windows"],
+        seed=meta["schedule_seed"],
+        max_down=meta["max_down"],
+        **meta.get("model_params", {}),
+    )
+    knobs = meta["runner"]
+    params = RCParams(k=knobs["k"], h=knobs["h"], d=knobs["d"], i=knobs["i"])
+    return ScenarioRunner(
+        schedule,
+        params,
+        root,
+        seed=knobs["seed"],
+        meta=meta,
+        ops_per_window=knobs["ops_per_window"],
+        initial_files=knobs["initial_files"],
+        file_size=knobs["file_size"],
+        max_repair_lag=knobs["max_repair_lag"],
+        drain_windows=knobs["drain_windows"],
+    )
+
+
+def _scenario_execute(meta: dict, report_path) -> "object":
+    """Run one scenario in a temporary cluster root; save and return the report."""
+    import asyncio
+    import tempfile
+
+    with tempfile.TemporaryDirectory(prefix="repro-scenario-") as tmp:
+        runner = _scenario_runner_from_meta(meta, pathlib.Path(tmp))
+        report = asyncio.run(runner.run_scenario())
+    if report_path is not None:
+        report.save(report_path)
+    return report
+
+
+def _scenario_print_summary(report) -> None:
+    attempted = sum(
+        count for name, count in report.ops.items() if name.endswith("attempted")
+    )
+    failed = sum(count for name, count in report.ops.items() if name.endswith("failed"))
+    print(
+        f"scenario '{report.meta['model']}' seed {report.meta['runner']['seed']}: "
+        f"{report.schedule_events} events over {report.initial_peers} peers, "
+        f"{attempted} ops ({failed} failed), {report.files_inserted} files, "
+        f"max repair lag {report.max_repair_lag}"
+    )
+    for name, held in sorted(report.invariants.items()):
+        print(f"  invariant {name}: {'ok' if held else 'VIOLATED'}")
+    for violation in report.violations:
+        print(f"  violation: {violation}")
+
+
+def cmd_scenario_run(args: argparse.Namespace) -> int:
+    """Compile a churn model and execute it against a live local cluster."""
+    from repro.net.errors import NetError
+    from repro.scenario import MODELS
+
+    if args.model not in MODELS:
+        raise CLIError(
+            f"unknown churn model {args.model!r} (known: {', '.join(sorted(MODELS))})"
+        )
+    params = RCParams(k=args.k, h=args.h, d=args.d, i=args.i)
+    max_down = args.max_down if args.max_down is not None else args.h
+    meta = {
+        "model": args.model,
+        "peers": args.peers,
+        "windows": args.windows,
+        "schedule_seed": args.seed,
+        "max_down": max_down,
+        "model_params": {},
+        "runner": {
+            "seed": args.seed,
+            "k": params.k,
+            "h": params.h,
+            "d": params.d,
+            "i": params.i,
+            "ops_per_window": args.ops_per_window,
+            "initial_files": args.initial_files,
+            "file_size": args.file_size,
+            "max_repair_lag": args.max_repair_lag,
+            "drain_windows": args.drain_windows,
+        },
+    }
+    try:
+        report = _scenario_execute(meta, args.report)
+    except (NetError, OSError) as exc:
+        raise CLIError(f"scenario run failed: {exc}") from None
+    _scenario_print_summary(report)
+    if args.report:
+        print(f"report -> {args.report}")
+    return 0 if report.ok else 1
+
+
+def cmd_scenario_replay(args: argparse.Namespace) -> int:
+    """Re-run a saved report's scenario and check it reproduces exactly."""
+    from repro.net.errors import NetError
+    from repro.scenario import ScenarioReport
+
+    try:
+        payload = ScenarioReport.load_jsonable(args.report_file)
+    except (OSError, json.JSONDecodeError, ValueError) as exc:
+        raise CLIError(f"cannot load scenario report: {exc}") from None
+    meta = payload["meta"]
+    if not meta.get("model"):
+        raise CLIError(
+            f"report {args.report_file} carries no replay metadata "
+            "(was it produced by 'repro scenario run'?)"
+        )
+    try:
+        report = _scenario_execute(meta, args.report)
+    except (NetError, OSError) as exc:
+        raise CLIError(f"scenario replay failed: {exc}") from None
+    _scenario_print_summary(report)
+    recorded_history = [tuple(entry) for entry in payload["event_history"]]
+    matches = (
+        report.event_history == recorded_history
+        and report.invariants == payload["invariants"]
+    )
+    print(
+        "replay reproduces the recorded run"
+        if matches
+        else "REPLAY DIVERGED from the recorded run"
+    )
+    if args.report:
+        print(f"report -> {args.report}")
+    return 0 if matches and report.ok else 1
+
+
 # ----------------------------------------------------------------------
 # parser
 # ----------------------------------------------------------------------
@@ -669,6 +807,52 @@ def build_parser() -> argparse.ArgumentParser:
                          help="persistent connections kept per peer "
                               "(0 = fresh per request)")
     net_get.set_defaults(handler=cmd_net_get)
+
+    scenario = subparsers.add_parser(
+        "scenario",
+        help="replay simulated churn against a live local cluster",
+    )
+    scenario_sub = scenario.add_subparsers(dest="scenario_command", required=True)
+
+    scenario_run = scenario_sub.add_parser(
+        "run", help="compile a churn model and execute it against live daemons"
+    )
+    scenario_run.add_argument(
+        "--model", required=True,
+        help="churn family: diurnal, exponential, correlated, flashcrowd, straggler",
+    )
+    scenario_run.add_argument("--seed", type=int, default=0,
+                              help="master seed: schedule, faults, and ops")
+    scenario_run.add_argument("--peers", type=int, default=6,
+                              help="initial cluster size")
+    scenario_run.add_argument("--windows", type=int, default=8,
+                              help="scenario horizon in maintenance windows")
+    scenario_run.add_argument("-k", type=int, default=3)
+    scenario_run.add_argument("-H", dest="h", type=int, default=3)
+    scenario_run.add_argument("-d", type=int, default=4)
+    scenario_run.add_argument("-i", type=int, default=1)
+    scenario_run.add_argument("--max-down", type=int, default=None,
+                              help="survivability clamp (default: h = n - k)")
+    scenario_run.add_argument("--ops-per-window", type=int, default=3,
+                              help="reconstruction probes per window")
+    scenario_run.add_argument("--initial-files", type=int, default=2)
+    scenario_run.add_argument("--file-size", type=int, default=1024)
+    scenario_run.add_argument("--max-repair-lag", type=int, default=3,
+                              help="repair-bounded invariant threshold")
+    scenario_run.add_argument("--drain-windows", type=int, default=3,
+                              help="event-free windows before the final sweep")
+    scenario_run.add_argument("--report", default=None,
+                              help="write the JSON scenario report here")
+    scenario_run.set_defaults(handler=cmd_scenario_run)
+
+    scenario_replay = scenario_sub.add_parser(
+        "replay",
+        help="re-run a saved report's scenario and verify it reproduces",
+    )
+    scenario_replay.add_argument("report_file", help="report from 'scenario run'")
+    scenario_replay.add_argument("--report", default=None,
+                                 help="write the replay's own report here")
+    scenario_replay.set_defaults(handler=cmd_scenario_replay)
 
     return parser
 

@@ -69,6 +69,13 @@ ASYNC_METHODS = frozenset(
         "kill",
         "restart",
         "spawn",
+        "decommission",
+        # repro.scenario.ScenarioRunner
+        "run_scenario",
+        "apply_event",
+        "run_window",
+        "repair_degraded",
+        "verify_files",
         # streams / sync primitives
         "drain",
         "wait_closed",
@@ -101,6 +108,14 @@ NETWORK_AWAIT_NAMES = frozenset(
         "repair_read",
         "_converse",
         "_request_once",
+        # scenario engine: each of these drives coordinator traffic
+        "run_scenario",
+        "run_window",
+        "repair_degraded",
+        "verify_files",
+        "insert",
+        "repair",
+        "reconstruct",
     }
 )
 

@@ -11,14 +11,18 @@ real TCP in a few hundred milliseconds.
         await cluster.kill(3)                    # peer 3 leaves the swarm
         await coordinator.repair(stats.manifest, lost, newcomer)
 
-Killing closes the listening socket but keeps the blockstore directory,
-so :meth:`restart` models a transient disconnection (the paper's
-availability churn) while :meth:`kill` + a fresh :meth:`spawn` models a
-permanent departure.
+Killing closes the listening socket but keeps the blockstore directory
+*and* the peer's dial address: :meth:`restart` rebinds the same port, so
+a manifest that placed pieces on the peer stays valid across the outage.
+That makes :meth:`kill` + :meth:`restart` model a *transient*
+disconnection (the paper's availability churn) while :meth:`decommission`
+-- kill plus blockstore wipe -- models a *permanent* departure with data
+loss.
 """
 
 from __future__ import annotations
 
+import asyncio
 import pathlib
 import shutil
 
@@ -120,6 +124,9 @@ class LocalCluster:
         daemon = self.daemons[number]
         return PeerAddress(host=daemon.host, port=daemon.port)
 
+    def is_running(self, number: int) -> bool:
+        return self.daemons[number].running
+
     async def kill(self, number: int) -> PeerAddress:
         """Take peer ``number`` off the network (its disk survives)."""
         daemon = self.daemons[number]
@@ -127,14 +134,45 @@ class LocalCluster:
         await daemon.stop()
         return address
 
-    async def restart(self, number: int) -> PeerAddress:
-        """Bring a killed peer back, on a fresh ephemeral port."""
+    async def restart(
+        self, number: int, fresh_port: bool = False, bind_attempts: int = 20
+    ) -> PeerAddress:
+        """Bring a killed peer back at its *old* address, disk intact.
+
+        Reusing the port is what lets a scenario model transient downtime:
+        every manifest that placed pieces on the peer dials the same
+        ``host:port`` after the outage.  The kernel occasionally still
+        holds the port for a moment after the old listener closed, so the
+        rebind retries briefly before giving up.  Pass ``fresh_port=True``
+        for the historical bind-anywhere behaviour (the peer comes back
+        as a stranger at a new address).
+        """
         daemon = self.daemons[number]
         if daemon.running:
             return self.address_of(number)
-        daemon.port = 0  # the old port may have been reclaimed
-        await daemon.start()
+        if fresh_port:
+            daemon.port = 0
+            await daemon.start()
+            return self.address_of(number)
+        for attempt in range(bind_attempts - 1):
+            try:
+                await daemon.start()
+                return self.address_of(number)
+            except OSError:
+                await asyncio.sleep(0.05 * (attempt + 1))
+        await daemon.start()  # last try: let the OSError propagate
         return self.address_of(number)
+
+    async def decommission(self, number: int) -> PeerAddress:
+        """Permanent departure: take the peer down *and* destroy its disk.
+
+        The opposite of :meth:`kill`/:meth:`restart` transient downtime --
+        a restarted decommissioned peer comes back empty, like a newcomer
+        that happens to reuse the address.
+        """
+        address = await self.kill(number)
+        self.wipe(number)
+        return address
 
     async def spawn(self) -> PeerAddress:
         """Add a brand-new empty peer to the cluster (a newcomer)."""

@@ -194,9 +194,19 @@ class FaultPlan:
     enters the hash.
     """
 
-    def __init__(self, rules: Iterable[FaultRule] = (), seed: int = 0):
+    def __init__(
+        self,
+        rules: Iterable[FaultRule] = (),
+        seed: int = 0,
+        inactive: Iterable[int] = (),
+    ):
         self.rules: tuple[FaultRule, ...] = tuple(rules)
         self.seed = int(seed)
+        #: Rule indices currently switched off (see :meth:`set_rule_active`).
+        self._inactive: set[int] = set(inactive)
+        for index in self._inactive:
+            if not 0 <= index < len(self.rules):
+                raise IndexError(f"inactive rule index {index} out of range")
         #: Matching-hit counters, keyed by (rule, side, scope, op, key).
         self._hits: dict[tuple, int] = {}
         #: Fire counters for ``times`` budgets, same key space.
@@ -234,6 +244,38 @@ class FaultPlan:
         return bytes(out[:count])
 
     # ------------------------------------------------------------------
+    # runtime rule activation
+    # ------------------------------------------------------------------
+
+    def set_rule_active(self, index: int, active: bool = True) -> None:
+        """Switch rule ``index`` on or off at runtime.
+
+        The scenario engine compiles fault phases (a straggler's slow
+        window, a lossy-link episode) into a plan whose rules start
+        inactive and are toggled at deterministic points of the event
+        schedule.  An inactive rule neither fires nor observes hits, so
+        its ``after``/``times`` counters only advance while it is on;
+        toggling at deterministic operation boundaries keeps the whole
+        plan reproducible.
+        """
+        if not 0 <= index < len(self.rules):
+            raise IndexError(
+                f"rule index {index} out of range (plan has {len(self.rules)})"
+            )
+        if active:
+            self._inactive.discard(index)
+        else:
+            self._inactive.add(index)
+
+    def rule_active(self, index: int) -> bool:
+        """Whether rule ``index`` currently participates in decisions."""
+        if not 0 <= index < len(self.rules):
+            raise IndexError(
+                f"rule index {index} out of range (plan has {len(self.rules)})"
+            )
+        return index not in self._inactive
+
+    # ------------------------------------------------------------------
     # decisions
     # ------------------------------------------------------------------
 
@@ -246,6 +288,8 @@ class FaultPlan:
         observed operation.
         """
         for index, rule in enumerate(self.rules):
+            if index in self._inactive:
+                continue
             if not rule.matches(side, scope, operation, key):
                 continue
             counter = (index, side, scope, operation, key)

@@ -23,7 +23,9 @@ from repro.p2p.availability import AlwaysOnline, AvailabilityModel
 from repro.p2p.churn import LifetimeModel
 from repro.p2p.system import BackupSystem
 
-__all__ = ["SessionEvent", "ChurnTrace", "generate_trace", "apply_trace"]
+__all__ = ["TRACE_FORMAT", "SessionEvent", "ChurnTrace", "generate_trace", "apply_trace"]
+
+TRACE_FORMAT = "repro-churn-trace-v1"
 
 EVENT_KINDS = ("join", "death", "offline", "online")
 
@@ -68,27 +70,39 @@ class ChurnTrace:
     # persistence
     # ------------------------------------------------------------------
 
-    def save(self, path) -> None:
-        payload = {
-            "format": "repro-churn-trace-v1",
+    def to_jsonable(self) -> dict:
+        """The trace as plain JSON-ready data -- the export surface the
+        scenario engine (and :meth:`save`) consumes."""
+        return {
+            "format": TRACE_FORMAT,
             "horizon": self.horizon,
             "events": [
                 {"time": event.time, "kind": event.kind, "peer": event.peer_label}
                 for event in self.events
             ],
         }
-        pathlib.Path(path).write_text(json.dumps(payload))
 
     @classmethod
-    def load(cls, path) -> "ChurnTrace":
-        payload = json.loads(pathlib.Path(path).read_text())
-        if payload.get("format") != "repro-churn-trace-v1":
-            raise ValueError(f"not a churn trace file: {path}")
+    def from_jsonable(cls, payload: dict) -> "ChurnTrace":
+        if payload.get("format") != TRACE_FORMAT:
+            raise ValueError(
+                f"not a churn trace payload (format={payload.get('format')!r})"
+            )
         events = tuple(
             SessionEvent(time=entry["time"], kind=entry["kind"], peer_label=entry["peer"])
             for entry in payload["events"]
         )
         return cls(events=events, horizon=payload["horizon"])
+
+    def save(self, path) -> None:
+        pathlib.Path(path).write_text(json.dumps(self.to_jsonable()))
+
+    @classmethod
+    def load(cls, path) -> "ChurnTrace":
+        payload = json.loads(pathlib.Path(path).read_text())
+        if payload.get("format") != TRACE_FORMAT:
+            raise ValueError(f"not a churn trace file: {path}")
+        return cls.from_jsonable(payload)
 
 
 def generate_trace(

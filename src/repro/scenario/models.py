@@ -1,0 +1,324 @@
+"""Generative churn models: unbounded scenario families from a seed.
+
+Each model compiles ``(peers, windows, seed)`` into a deterministic
+:class:`~repro.scenario.schedule.Schedule`; same inputs, same schedule,
+always.  Passing ``max_down`` projects the result onto a survivable
+envelope (never more than ``max_down`` initial peers down at once) via
+:meth:`Schedule.clamped_to_max_down`, which is how a test keeps a
+scenario on the live side of the code's ``n - k`` durability boundary.
+
+The families mirror the churn shapes measured in deployed systems and
+modelled by the related p2p-backup simulators:
+
+- :class:`DiurnalModel` -- day/night availability cycles: a seeded
+  subset disconnects every night and returns every morning;
+- :class:`ExponentialChurnModel` -- memoryless online/offline sessions
+  plus permanent exponential lifetimes, compiled through the simulator's
+  own :func:`repro.p2p.traces.generate_trace` (the trace bridge);
+- :class:`CorrelatedFailureModel` -- rack failure: a whole group of
+  peers drops at the same instant and returns together;
+- :class:`FlashCrowdModel` -- a crowd of newcomers joins at once, then
+  drains away peer by peer (permanently, data and all);
+- :class:`StragglerModel` -- slow disks: selected peers stay up but
+  answer slowly for a window, injected as runtime-toggled delay rules.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable
+
+import numpy as np
+
+from repro.net.faults import FaultRule
+from repro.p2p.availability import ExponentialOnOff
+from repro.p2p.churn import ExponentialLifetime
+from repro.p2p.traces import generate_trace
+from repro.scenario.schedule import ScenarioEvent, Schedule
+
+__all__ = [
+    "MODELS",
+    "ChurnModel",
+    "DiurnalModel",
+    "ExponentialChurnModel",
+    "CorrelatedFailureModel",
+    "FlashCrowdModel",
+    "StragglerModel",
+    "compile_model",
+]
+
+
+class ChurnModel:
+    """Base: a named, parameterized schedule compiler."""
+
+    name: str = "abstract"
+
+    def _compile(
+        self, peers: int, windows: int, rng: np.random.Generator
+    ) -> Schedule:
+        raise NotImplementedError
+
+    def compile(
+        self,
+        peers: int,
+        windows: int,
+        seed: int,
+        max_down: int | None = None,
+    ) -> Schedule:
+        """Deterministic schedule for ``(peers, windows, seed)``.
+
+        ``max_down`` (usually ``peers - k``) makes the model survivable;
+        ``None`` compiles it raw, durability boundary included.
+        """
+        if peers < 1 or windows < 1:
+            raise ValueError(
+                f"need at least one peer and one window, got {peers}, {windows}"
+            )
+        schedule = self._compile(peers, windows, np.random.default_rng(seed))
+        if max_down is not None:
+            schedule = schedule.clamped_to_max_down(max_down)
+        return schedule
+
+    def params(self) -> dict:
+        """The model's own knobs, JSON-ready (for reports and replay)."""
+        return dataclasses.asdict(self)  # type: ignore[call-overload]
+
+
+@dataclasses.dataclass(frozen=True)
+class DiurnalModel(ChurnModel):
+    """Day/night cycles: ``night_fraction`` of the peers sleep at night.
+
+    Which peers sleep is redrawn per night from the seed, so two nights
+    hit different (but reproducible) subsets.
+    """
+
+    day: int = 3
+    night: int = 2
+    night_fraction: float = 0.4
+
+    name = "diurnal"
+
+    def __post_init__(self) -> None:
+        if self.day < 1 or self.night < 1:
+            raise ValueError("day and night lengths must be >= 1 windows")
+        if not 0.0 < self.night_fraction <= 1.0:
+            raise ValueError("night_fraction must be in (0, 1]")
+
+    def _compile(self, peers, windows, rng):
+        events: list[ScenarioEvent] = []
+        cycle = self.day + self.night
+        sleepers_count = max(1, round(self.night_fraction * peers))
+        for night_start in range(self.day, windows, cycle):
+            sleepers = sorted(
+                int(peer)
+                for peer in rng.choice(peers, size=min(sleepers_count, peers), replace=False)
+            )
+            dawn = min(night_start + self.night, windows)
+            for peer in sleepers:
+                events.append(ScenarioEvent(float(night_start), "kill", peer))
+            for peer in sleepers:
+                events.append(ScenarioEvent(float(dawn), "restart", peer))
+        events.sort(key=lambda event: event.as_tuple)
+        return Schedule(
+            events=tuple(events), horizon=float(windows), initial_peers=peers
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class ExponentialChurnModel(ChurnModel):
+    """Memoryless sessions and lifetimes, via the simulator's trace path.
+
+    This model *is* the bridge: it calls the discrete-event simulator's
+    :func:`repro.p2p.traces.generate_trace` and compiles the result with
+    :meth:`Schedule.from_trace`, so live-daemon scenarios and pure
+    simulations share one churn source.  Durations are in windows.
+    """
+
+    mean_online: float = 6.0
+    mean_offline: float = 2.0
+    mean_lifetime: float = 60.0
+
+    name = "exponential"
+
+    def __post_init__(self) -> None:
+        if self.mean_online <= 0 or self.mean_offline <= 0 or self.mean_lifetime <= 0:
+            raise ValueError("session and lifetime means must be positive")
+
+    def _compile(self, peers, windows, rng):
+        trace = generate_trace(
+            peers=peers,
+            horizon=float(windows),
+            lifetime_model=ExponentialLifetime(self.mean_lifetime),
+            availability_model=ExponentialOnOff(self.mean_online, self.mean_offline),
+            seed=int(rng.integers(0, 2**31 - 1)),
+        )
+        return Schedule.from_trace(trace)
+
+
+@dataclasses.dataclass(frozen=True)
+class CorrelatedFailureModel(ChurnModel):
+    """Rack failure: one rack's peers all drop at once, return together.
+
+    Peers are split into ``racks`` contiguous racks; ``episodes`` times
+    are drawn from the seed (spaced so outages never overlap), each
+    taking one seeded rack down for ``outage`` windows.
+    """
+
+    racks: int = 3
+    episodes: int = 2
+    outage: int = 2
+
+    name = "correlated"
+
+    def __post_init__(self) -> None:
+        if self.racks < 1 or self.episodes < 1 or self.outage < 1:
+            raise ValueError("racks, episodes, and outage must be >= 1")
+
+    def _compile(self, peers, windows, rng):
+        racks = [list(map(int, rack)) for rack in np.array_split(np.arange(peers), self.racks) if len(rack)]
+        events: list[ScenarioEvent] = []
+        last_end = 0
+        for _ in range(self.episodes):
+            earliest = max(1, last_end)
+            if earliest >= windows:
+                break
+            start = int(rng.integers(earliest, windows))
+            rack = racks[int(rng.integers(len(racks)))]
+            end = min(start + self.outage, windows)
+            for peer in rack:
+                events.append(ScenarioEvent(float(start), "kill", peer))
+            for peer in rack:
+                events.append(ScenarioEvent(float(end), "restart", peer))
+            last_end = end + 1
+        events.sort(key=lambda event: event.as_tuple)
+        return Schedule(
+            events=tuple(events), horizon=float(windows), initial_peers=peers
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class FlashCrowdModel(ChurnModel):
+    """A crowd of newcomers joins at once, then drains away for good.
+
+    ``crowd`` peers spawn at ``join_time``; after ``stay`` windows they
+    start leaving *permanently* (one death per window), taking whatever
+    pieces were placed on them.  The maintenance loop must re-spread
+    that data back onto the stable population.
+    """
+
+    crowd: int = 3
+    join_time: int = 1
+    stay: int = 3
+
+    name = "flashcrowd"
+
+    def __post_init__(self) -> None:
+        if self.crowd < 1 or self.join_time < 0 or self.stay < 1:
+            raise ValueError("crowd >= 1, join_time >= 0, stay >= 1 required")
+
+    def _compile(self, peers, windows, rng):
+        events: list[ScenarioEvent] = []
+        horizon = float(windows)
+        departure_order = [int(p) for p in rng.permutation(self.crowd)]
+        for index in range(self.crowd):
+            events.append(
+                ScenarioEvent(
+                    float(min(self.join_time, windows)), "spawn", peers + index
+                )
+            )
+        leave_start = self.join_time + self.stay
+        for offset, crowd_index in enumerate(departure_order):
+            time = float(min(leave_start + offset, windows))
+            events.append(ScenarioEvent(time, "death", peers + crowd_index))
+        events.sort(key=lambda event: event.as_tuple)
+        return Schedule(events=tuple(events), horizon=horizon, initial_peers=peers)
+
+
+@dataclasses.dataclass(frozen=True)
+class StragglerModel(ChurnModel):
+    """Slow disks: ``stragglers`` peers answer slowly for a while.
+
+    Compiled as runtime-toggled ``delay`` fault rules (``fault_on`` at
+    ``start``, ``fault_off`` after ``duration`` windows), plus one
+    seeded transient kill in the middle so maintenance has to regenerate
+    a piece *through* the slow helpers.
+    """
+
+    stragglers: int = 2
+    delay: float = 0.01
+    probability: float = 0.3
+    start: int = 1
+    duration: int = 4
+
+    name = "straggler"
+
+    def __post_init__(self) -> None:
+        if self.stragglers < 1:
+            raise ValueError("need at least one straggler")
+        if self.delay <= 0:
+            raise ValueError("delay must be positive")
+        if not 0.0 < self.probability <= 1.0:
+            raise ValueError("probability must be in (0, 1]")
+        if self.start < 0 or self.duration < 1:
+            raise ValueError("start >= 0 and duration >= 1 required")
+
+    def _compile(self, peers, windows, rng):
+        events: list[ScenarioEvent] = []
+        slow = sorted(
+            int(peer)
+            for peer in rng.choice(peers, size=min(self.stragglers, peers), replace=False)
+        )
+        on_time = float(min(self.start, windows))
+        off_time = float(min(self.start + self.duration, windows))
+        for peer in slow:
+            rule = FaultRule(
+                kind="delay",
+                operation="*",
+                scope=f"peer{peer:02d}",
+                probability=self.probability,
+                delay=self.delay,
+            )
+            events.append(ScenarioEvent(on_time, "fault_on", rule=rule))
+            events.append(ScenarioEvent(off_time, "fault_off", rule=rule))
+        # One transient outage mid-episode, preferring a healthy peer so
+        # the repair path has to read through the stragglers.
+        healthy = [peer for peer in range(peers) if peer not in slow] or list(range(peers))
+        victim = healthy[int(rng.integers(len(healthy)))]
+        kill_time = float(min(self.start + 1, windows))
+        events.append(ScenarioEvent(kill_time, "kill", victim))
+        events.append(
+            ScenarioEvent(float(min(self.start + 3, windows)), "restart", victim)
+        )
+        events.sort(key=lambda event: event.as_tuple)
+        return Schedule(
+            events=tuple(events), horizon=float(windows), initial_peers=peers
+        )
+
+
+#: Model registry: name -> zero-config factory.  Parameter overrides go
+#: through :func:`compile_model`'s keyword arguments.
+MODELS: dict[str, Callable[..., ChurnModel]] = {
+    DiurnalModel.name: DiurnalModel,
+    ExponentialChurnModel.name: ExponentialChurnModel,
+    CorrelatedFailureModel.name: CorrelatedFailureModel,
+    FlashCrowdModel.name: FlashCrowdModel,
+    StragglerModel.name: StragglerModel,
+}
+
+
+def compile_model(
+    name: str,
+    peers: int,
+    windows: int,
+    seed: int,
+    max_down: int | None = None,
+    **params,
+) -> Schedule:
+    """Compile registry model ``name`` with optional parameter overrides."""
+    try:
+        factory = MODELS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown churn model {name!r} (known: {sorted(MODELS)})"
+        ) from None
+    return factory(**params).compile(peers, windows, seed, max_down=max_down)

@@ -28,6 +28,28 @@ from repro.gf.field import GF
 HERE = pathlib.Path(__file__).parent
 
 
+def canonical_trace():
+    """A small fixed churn trace (and its schedule compilation).
+
+    Pins two formats at once: ``repro-churn-trace-v1`` and the scenario
+    engine's ``repro-scenario-schedule-v1`` -- and, transitively, the
+    trace <-> schedule mapping (t=0 joins become initial daemons,
+    offline/online become kill/restart).  The gatekeeper is
+    tests/scenario/test_trace_roundtrip.py.
+    """
+    from repro.p2p.availability import ExponentialOnOff
+    from repro.p2p.churn import ExponentialLifetime
+    from repro.p2p.traces import generate_trace
+
+    return generate_trace(
+        peers=4,
+        horizon=12.0,
+        lifetime_model=ExponentialLifetime(30.0),
+        availability_model=ExponentialOnOff(4.0, 2.0),
+        seed=2009,
+    )
+
+
 def canonical_piece():
     """A small fixed piece over the paper's GF(2^16): index 7, two
     fragments of four elements, coefficients over three originals."""
@@ -68,7 +90,18 @@ def main() -> None:
     (HERE / "piece_v1.bin").write_bytes(piece_v1_bytes())
     (HERE / "piece_v2.bin").write_bytes(piece_to_bytes(piece, field))
     (HERE / "fragment_v2.bin").write_bytes(fragment_to_bytes(fragment, field))
-    for name in ("piece_v1.bin", "piece_v2.bin", "fragment_v2.bin"):
+    from repro.scenario.schedule import Schedule
+
+    trace = canonical_trace()
+    trace.save(HERE / "churn_trace_golden.json")
+    Schedule.from_trace(trace).save(HERE / "scenario_schedule_golden.json")
+    for name in (
+        "piece_v1.bin",
+        "piece_v2.bin",
+        "fragment_v2.bin",
+        "churn_trace_golden.json",
+        "scenario_schedule_golden.json",
+    ):
         print(f"wrote {name}: {len((HERE / name).read_bytes())} bytes")
 
 

@@ -1,0 +1,149 @@
+"""Regression tests for LocalCluster restart semantics.
+
+The bug: ``restart()`` used to rebind to a fresh ephemeral port, so a
+peer coming back from *transient* downtime returned as a stranger --
+every manifest that had placed pieces on it kept dialing a dead address
+and the piece was effectively lost, even though its blockstore was
+intact.  The fix makes kill/restart model the paper's availability
+churn (same address, same disk) and adds ``decommission`` for the
+*permanent* departure (address survives, data does not).
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.core.params import RCParams
+from repro.net import Coordinator, LocalCluster, NetError, RetryPolicy
+
+pytestmark = pytest.mark.net
+
+PARAMS = RCParams(2, 2, 3, 1)  # 4 pieces, k=2 to reconstruct, d=3 helpers
+DATA = bytes(np.random.default_rng(5).integers(0, 256, 2_000, dtype=np.uint8))
+
+
+def run(coro):
+    return asyncio.run(asyncio.wait_for(coro, timeout=30.0))
+
+
+def coordinator():
+    return Coordinator(
+        PARAMS,
+        rng=np.random.default_rng(1),
+        retry=RetryPolicy(retries=1, backoff=0.02, jitter=0.0),
+        read_timeout=2.0,
+    )
+
+
+class TestTransientRestart:
+    def test_restart_reuses_port_and_blockstore(self, tmp_path):
+        async def scenario():
+            async with LocalCluster(4, tmp_path, seed=0) as cluster:
+                before = cluster.address_of(2)
+                await cluster.kill(2)
+                assert not cluster.is_running(2)
+                after = await cluster.restart(2)
+                assert cluster.is_running(2)
+                return before, after
+
+        before, after = run(scenario())
+        assert after == before
+
+    def test_manifest_survives_transient_downtime(self, tmp_path):
+        """Pieces on a killed-then-restarted peer are reachable again at
+        the manifest's recorded address -- no repair required."""
+
+        async def scenario():
+            async with LocalCluster(4, tmp_path, seed=0) as cluster, coordinator() as coord:
+                stats = await coord.insert(DATA, cluster.addresses, "f")
+                manifest = stats.manifest
+                placed_before = dict(manifest.pieces)
+                # Take down h=2 holders: reconstruction now *needs* the
+                # restarted peers' pieces to come back at the old address.
+                await cluster.kill(0)
+                await cluster.kill(1)
+                await cluster.restart(0)
+                await cluster.restart(1)
+                restored, _ = await coord.reconstruct(manifest)
+                return placed_before, dict(manifest.pieces), restored
+
+        placed_before, placed_after, restored = run(scenario())
+        assert restored == DATA
+        assert placed_after == placed_before  # no repair rewrote the map
+
+    def test_restart_of_running_peer_is_a_no_op(self, tmp_path):
+        async def scenario():
+            async with LocalCluster(2, tmp_path, seed=0) as cluster:
+                before = cluster.address_of(0)
+                after = await cluster.restart(0)
+                return before, after, cluster.is_running(0)
+
+        before, after, running = run(scenario())
+        assert after == before and running
+
+    def test_fresh_port_opt_out_changes_address(self, tmp_path):
+        """The historical bind-anywhere behaviour survives as an opt-in."""
+
+        async def scenario():
+            async with LocalCluster(2, tmp_path, seed=0) as cluster:
+                before = cluster.address_of(1)
+                await cluster.kill(1)
+                after = await cluster.restart(1, fresh_port=True)
+                return before, after
+
+        before, after = run(scenario())
+        assert after.host == before.host
+        assert after.port != before.port
+
+
+class TestPermanentDeath:
+    def test_decommission_wipes_the_blockstore(self, tmp_path):
+        async def scenario():
+            async with LocalCluster(4, tmp_path, seed=0) as cluster, coordinator() as coord:
+                await coord.insert(DATA, cluster.addresses, "f")
+                victim_store = cluster.daemons[3].store.root
+                had_pieces = any(victim_store.rglob("*.rgc")) or any(
+                    path for path in victim_store.rglob("*") if path.is_file()
+                )
+                address = await cluster.decommission(3)
+                empty = not any(
+                    path for path in victim_store.rglob("*") if path.is_file()
+                )
+                return had_pieces, empty, address, cluster.address_of(3)
+
+        had_pieces, empty, address, recorded = run(scenario())
+        assert had_pieces, "victim held no data; test is vacuous"
+        assert empty
+        assert address == recorded  # the address survives, the data does not
+
+    def test_restarted_decommissioned_peer_is_an_empty_newcomer(self, tmp_path):
+        """Transient vs permanent, side by side: after decommission +
+        restart the old address answers again but the pieces are gone,
+        so reconstruction must lean on the surviving holders."""
+
+        async def scenario():
+            async with LocalCluster(4, tmp_path, seed=0) as cluster, coordinator() as coord:
+                stats = await coord.insert(DATA, cluster.addresses, "f")
+                await cluster.decommission(3)
+                await cluster.restart(3)
+                restored, recon = await coord.reconstruct(stats.manifest)
+                return restored, cluster.is_running(3), recon
+
+        restored, running, _ = run(scenario())
+        assert restored == DATA
+        assert running
+
+    def test_losing_more_than_h_pieces_fails_typed(self, tmp_path):
+        """Beyond the durability boundary the failure is a typed
+        NetError, never a hang or a raw traceback."""
+
+        async def scenario():
+            async with LocalCluster(4, tmp_path, seed=0) as cluster, coordinator() as coord:
+                stats = await coord.insert(DATA, cluster.addresses, "f")
+                for number in range(3):  # h + 1 = 3 permanent losses
+                    await cluster.decommission(number)
+                with pytest.raises(NetError):
+                    await coord.reconstruct(stats.manifest)
+
+        run(scenario())

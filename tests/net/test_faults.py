@@ -341,3 +341,53 @@ class TestClientWiring:
         failures, history = run(scenario())
         assert failures == 1
         assert len(history) == 1
+
+
+class TestRuntimeToggles:
+    """Rules can be activated and deactivated while a plan is live --
+    how the scenario engine turns a straggler window on and off."""
+
+    RULES = [
+        FaultRule(kind="drop", operation="ping"),
+        FaultRule(kind="delay", operation="*", delay=0.01),
+    ]
+
+    def test_rules_start_active_by_default(self):
+        plan = FaultPlan(self.RULES, seed=0)
+        assert plan.rule_active(0) and plan.rule_active(1)
+
+    def test_inactive_at_construction(self):
+        plan = FaultPlan(self.RULES, seed=0, inactive=[0])
+        assert not plan.rule_active(0)
+        assert plan.rule_active(1)
+
+    def test_inactive_rule_neither_fires_nor_observes(self):
+        plan = FaultPlan(self.RULES, seed=0, inactive=[0, 1])
+        assert plan.decide("ping", "k", scope="peer00") is None
+        assert plan.history() == ()
+
+    def test_toggle_changes_decisions_immediately(self):
+        plan = FaultPlan(self.RULES, seed=0, inactive=[0, 1])
+        assert plan.decide("ping", "k", scope="peer00") is None
+        plan.set_rule_active(0)
+        decision = plan.decide("ping", "k", scope="peer00")
+        assert decision is not None and decision.kind is FaultKind.DROP
+        plan.set_rule_active(0, False)
+        assert plan.decide("ping", "k", scope="peer00") is None
+
+    def test_history_records_only_active_windows(self):
+        plan = FaultPlan(self.RULES, seed=0, inactive=[1])
+        plan.decide("ping", "k", scope="peer00")       # rule 0 fires
+        plan.decide("get_piece", "k", scope="peer00")  # rule 1 inactive: nothing
+        plan.set_rule_active(1)
+        plan.decide("get_piece", "k", scope="peer00")  # now the delay fires
+        assert sorted(entry[1] for entry in plan.history()) == ["delay", "drop"]
+
+    def test_out_of_range_indices_rejected(self):
+        plan = FaultPlan(self.RULES, seed=0)
+        with pytest.raises(IndexError):
+            plan.set_rule_active(2)
+        with pytest.raises(IndexError):
+            plan.rule_active(-3)
+        with pytest.raises(IndexError):
+            FaultPlan(self.RULES, seed=0, inactive=[5])

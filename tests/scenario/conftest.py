@@ -1,0 +1,27 @@
+"""Fixtures for the scenario tier.
+
+Everything under tests/scenario/ is auto-marked ``scenario`` so the tier
+can be selected (``-m scenario``) or skipped (``-m "not scenario"``) as
+a unit.  Tests that additionally open live daemons add their own
+``net`` semantics implicitly -- the runner tests are the slow ones; the
+schedule and model tests are pure computation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_configure(config):
+    # Keep `pytest tests/scenario` runnable from any rootdir, even one
+    # whose ini file does not declare the marker.
+    config.addinivalue_line(
+        "markers",
+        "scenario: trace-driven churn scenarios against live daemons (dedicated tier)",
+    )
+
+
+def pytest_collection_modifyitems(items):
+    for item in items:
+        if "tests/scenario" in str(item.fspath).replace("\\", "/"):
+            item.add_marker(pytest.mark.scenario)

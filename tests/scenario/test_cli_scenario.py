@@ -1,0 +1,89 @@
+"""CLI coverage: ``repro scenario run`` and ``repro scenario replay``."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+RUN_ARGS = [
+    "scenario", "run",
+    "--model", "diurnal",
+    "--seed", "7",
+    "--peers", "6",
+    "--windows", "6",
+    "--ops-per-window", "2",
+    "--file-size", "256",
+]
+
+
+def test_run_writes_a_report(tmp_path, capsys):
+    report_path = tmp_path / "scenario.json"
+    code = main(RUN_ARGS + ["--report", str(report_path)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "invariant reconstructable_when_k_live: ok" in out
+    payload = json.loads(report_path.read_text())
+    assert payload["format"] == "repro-scenario-report-v1"
+    assert payload["ok"] is True
+    assert payload["meta"]["model"] == "diurnal"
+    assert payload["event_history"]
+
+
+def test_replay_reproduces_the_recorded_run(tmp_path, capsys):
+    report_path = tmp_path / "scenario.json"
+    assert main(RUN_ARGS + ["--report", str(report_path)]) == 0
+    capsys.readouterr()
+    code = main(["scenario", "replay", str(report_path)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "replay reproduces the recorded run" in out
+
+
+def test_replay_detects_a_tampered_history(tmp_path, capsys):
+    report_path = tmp_path / "scenario.json"
+    assert main(RUN_ARGS + ["--report", str(report_path)]) == 0
+    payload = json.loads(report_path.read_text())
+    payload["event_history"].append([99.0, "kill", 0, True])
+    report_path.write_text(json.dumps(payload))
+    capsys.readouterr()
+    code = main(["scenario", "replay", str(report_path)])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "REPLAY DIVERGED" in out
+
+
+def test_unknown_model_fails_cleanly(capsys):
+    code = main(["scenario", "run", "--model", "tsunami"])
+    err = capsys.readouterr().err
+    assert code == 1
+    assert "unknown churn model" in err
+
+
+def test_replay_of_non_report_fails_cleanly(tmp_path, capsys):
+    path = tmp_path / "junk.json"
+    path.write_text("{}")
+    code = main(["scenario", "replay", str(path)])
+    err = capsys.readouterr().err
+    assert code == 1
+    assert "cannot load scenario report" in err
+
+
+@pytest.mark.parametrize("model", ["correlated", "flashcrowd"])
+def test_other_models_smoke(model, tmp_path):
+    """The CI smoke matrix shape: short run, report written, exit 0."""
+    report_path = tmp_path / f"{model}.json"
+    code = main(
+        [
+            "scenario", "run",
+            "--model", model,
+            "--seed", "1",
+            "--windows", "4",
+            "--ops-per-window", "2",
+            "--file-size", "256",
+            "--drain-windows", "2",
+            "--report", str(report_path),
+        ]
+    )
+    assert code == 0
+    assert json.loads(report_path.read_text())["ok"] is True

@@ -1,0 +1,170 @@
+"""Unit tests for the generative churn models.
+
+Every model must compile deterministically (same inputs, same schedule),
+respect the survivability clamp, and produce the structural shape its
+family name promises.
+"""
+
+import pytest
+
+from repro.scenario import (
+    MODELS,
+    CorrelatedFailureModel,
+    DiurnalModel,
+    ExponentialChurnModel,
+    FlashCrowdModel,
+    StragglerModel,
+    compile_model,
+)
+
+ALL_MODELS = sorted(MODELS)
+
+
+class TestRegistry:
+    def test_five_families_registered(self):
+        assert ALL_MODELS == [
+            "correlated",
+            "diurnal",
+            "exponential",
+            "flashcrowd",
+            "straggler",
+        ]
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError, match="unknown churn model"):
+            compile_model("tsunami", peers=4, windows=4, seed=0)
+
+    def test_parameter_overrides_reach_the_model(self):
+        schedule = compile_model(
+            "flashcrowd", peers=4, windows=10, seed=1, crowd=5, join_time=2
+        )
+        spawns = [event for event in schedule.events if event.action == "spawn"]
+        assert len(spawns) == 5
+        assert all(event.time == 2.0 for event in spawns)
+
+    def test_params_are_jsonable(self):
+        assert DiurnalModel().params() == {
+            "day": 3,
+            "night": 2,
+            "night_fraction": 0.4,
+        }
+
+
+@pytest.mark.parametrize("name", ALL_MODELS)
+class TestEveryModel:
+    def test_compilation_is_deterministic(self, name):
+        first = compile_model(name, peers=6, windows=10, seed=42)
+        second = compile_model(name, peers=6, windows=10, seed=42)
+        assert [e.as_tuple for e in first.events] == [e.as_tuple for e in second.events]
+        assert first.horizon == second.horizon
+        assert first.initial_peers == second.initial_peers
+
+    def test_different_seeds_differ_somewhere(self, name):
+        histories = {
+            tuple(e.as_tuple for e in compile_model(name, 6, 10, seed).events)
+            for seed in range(8)
+        }
+        assert len(histories) > 1
+
+    def test_clamp_respected(self, name):
+        schedule = compile_model(name, peers=6, windows=10, seed=3, max_down=2)
+        assert schedule.max_concurrent_down() <= 2
+
+    def test_rejects_degenerate_inputs(self, name):
+        with pytest.raises(ValueError):
+            compile_model(name, peers=0, windows=5, seed=0)
+        with pytest.raises(ValueError):
+            compile_model(name, peers=5, windows=0, seed=0)
+
+
+class TestDiurnal:
+    def test_every_night_kill_has_a_dawn_restart(self):
+        schedule = DiurnalModel(day=2, night=1).compile(peers=5, windows=9, seed=7)
+        kills = [e for e in schedule.events if e.action == "kill"]
+        restarts = [e for e in schedule.events if e.action == "restart"]
+        assert kills and len(kills) == len(restarts)
+        assert sorted(e.peer for e in kills) == sorted(e.peer for e in restarts)
+
+    def test_night_fraction_validated(self):
+        with pytest.raises(ValueError, match="night_fraction"):
+            DiurnalModel(night_fraction=0.0)
+
+
+class TestExponential:
+    def test_compiles_through_the_trace_bridge(self):
+        schedule = ExponentialChurnModel(
+            mean_online=3.0, mean_offline=1.0, mean_lifetime=30.0
+        ).compile(peers=5, windows=12, seed=11)
+        # The bridge keeps the trace's shape: churn only, no fault events.
+        assert all(e.action in ("kill", "restart", "death", "spawn") for e in schedule.events)
+        assert schedule.initial_peers == 5
+        assert schedule.to_trace().peer_count >= 5
+
+    def test_means_validated(self):
+        with pytest.raises(ValueError, match="positive"):
+            ExponentialChurnModel(mean_online=0.0)
+
+
+class TestCorrelated:
+    def test_rack_drops_are_simultaneous(self):
+        schedule = CorrelatedFailureModel(racks=2, episodes=2, outage=1).compile(
+            peers=6, windows=12, seed=5
+        )
+        kills = [e for e in schedule.events if e.action == "kill"]
+        assert kills
+        by_time: dict = {}
+        for event in kills:
+            by_time.setdefault(event.time, []).append(event.peer)
+        # Each episode takes a whole rack (3 of 6 peers) down at one instant.
+        assert all(len(peers) == 3 for peers in by_time.values())
+
+    def test_episodes_do_not_overlap(self):
+        schedule = CorrelatedFailureModel(racks=3, episodes=3, outage=2).compile(
+            peers=6, windows=20, seed=9
+        )
+        windows = sorted(
+            (event.time for event in schedule.events if event.action == "kill")
+        )
+        restarts = sorted(
+            (event.time for event in schedule.events if event.action == "restart")
+        )
+        for start, end in zip(windows[3::3], restarts[: len(windows) - 3 : 3]):
+            assert start > end
+
+
+class TestFlashCrowd:
+    def test_crowd_joins_then_drains_permanently(self):
+        schedule = FlashCrowdModel(crowd=3, join_time=1, stay=2).compile(
+            peers=4, windows=10, seed=3
+        )
+        spawns = [e for e in schedule.events if e.action == "spawn"]
+        deaths = [e for e in schedule.events if e.action == "death"]
+        assert len(spawns) == 3 and len(deaths) == 3
+        assert {e.peer for e in spawns} == {4, 5, 6}
+        assert {e.peer for e in deaths} == {4, 5, 6}
+        assert min(e.time for e in deaths) >= 1 + 2
+
+    def test_initial_population_untouched(self):
+        schedule = FlashCrowdModel().compile(peers=4, windows=10, seed=3)
+        assert schedule.max_concurrent_down() == 0
+
+
+class TestStraggler:
+    def test_delay_rules_toggle_on_then_off(self):
+        schedule = StragglerModel(stragglers=2, start=1, duration=3).compile(
+            peers=5, windows=10, seed=13
+        )
+        ons = [e for e in schedule.events if e.action == "fault_on"]
+        offs = [e for e in schedule.events if e.action == "fault_off"]
+        assert len(ons) == 2 and len(offs) == 2
+        assert {e.rule for e in ons} == {e.rule for e in offs}
+        assert all(e.time == 1.0 for e in ons)
+        assert all(e.time == 4.0 for e in offs)
+        assert all(e.rule.kind.value == "delay" for e in ons)
+
+    def test_includes_one_transient_outage(self):
+        schedule = StragglerModel().compile(peers=5, windows=10, seed=13)
+        kills = [e for e in schedule.events if e.action == "kill"]
+        restarts = [e for e in schedule.events if e.action == "restart"]
+        assert len(kills) == 1 and len(restarts) == 1
+        assert kills[0].peer == restarts[0].peer

@@ -1,0 +1,82 @@
+"""Property tests for schedule compilation (hypothesis).
+
+The three ISSUE-mandated properties, over every model family and a wide
+random parameter space:
+
+- compiled schedules are time-ordered and stay within their horizon;
+- compilation is deterministic: two compilations of the same
+  ``(model, peers, windows, seed)`` are event-for-event identical;
+- a schedule compiled survivable (``max_down = n - k``) never has more
+  than ``n - k`` initial peers down within one maintenance window.
+
+Plus the interchange property the golden fixture spot-checks: any
+fault-free schedule round-trips through the churn-trace vocabulary.
+"""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.scenario import MODELS, Schedule, compile_model  # noqa: E402
+
+pytestmark = pytest.mark.property
+
+MODEL_NAMES = sorted(MODELS)
+
+model_name = st.sampled_from(MODEL_NAMES)
+peers = st.integers(min_value=2, max_value=10)
+windows = st.integers(min_value=1, max_value=20)
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+@settings(max_examples=60, deadline=None)
+@given(name=model_name, peers=peers, windows=windows, seed=seeds)
+def test_compiled_schedules_are_time_ordered(name, peers, windows, seed):
+    schedule = compile_model(name, peers=peers, windows=windows, seed=seed)
+    times = [event.time for event in schedule.events]
+    assert times == sorted(times)
+    assert all(0.0 <= time <= schedule.horizon for time in times)
+    assert schedule.initial_peers == peers
+    assert schedule.horizon == float(windows)
+
+
+@settings(max_examples=60, deadline=None)
+@given(name=model_name, peers=peers, windows=windows, seed=seeds)
+def test_compilation_is_deterministic(name, peers, windows, seed):
+    first = compile_model(name, peers=peers, windows=windows, seed=seed)
+    second = compile_model(name, peers=peers, windows=windows, seed=seed)
+    assert [e.as_tuple for e in first.events] == [e.as_tuple for e in second.events]
+    assert (first.horizon, first.initial_peers) == (second.horizon, second.initial_peers)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    name=model_name,
+    peers=peers,
+    windows=windows,
+    seed=seeds,
+    k=st.integers(min_value=1, max_value=8),
+)
+def test_survivable_schedules_respect_n_minus_k(name, peers, windows, seed, k):
+    """Configured survivable, a model never kills more than n - k peers
+    within one maintenance window (here: at any instant, which is the
+    stronger form the runner relies on)."""
+    max_down = max(0, peers - k)
+    schedule = compile_model(
+        name, peers=peers, windows=windows, seed=seed, max_down=max_down
+    )
+    assert schedule.max_concurrent_down() <= max_down
+    # The clamp is a projection: applying it twice changes nothing.
+    again = schedule.clamped_to_max_down(max_down)
+    assert [e.as_tuple for e in again.events] == [e.as_tuple for e in schedule.events]
+
+
+@settings(max_examples=40, deadline=None)
+@given(peers=peers, windows=windows, seed=seeds)
+def test_exponential_schedules_round_trip_through_traces(peers, windows, seed):
+    """The trace bridge is lossless for churn-only schedules."""
+    schedule = compile_model("exponential", peers=peers, windows=windows, seed=seed)
+    trace = schedule.to_trace()
+    assert Schedule.from_trace(trace) == schedule

@@ -1,0 +1,80 @@
+"""Round-trip coverage for the trace <-> schedule interchange.
+
+Two golden fixtures under tests/data/ pin the interchange:
+
+- ``churn_trace_golden.json`` -- a fixed ``repro-churn-trace-v1`` file;
+- ``scenario_schedule_golden.json`` -- its compiled
+  ``repro-scenario-schedule-v1`` counterpart.
+
+The tests assert trace -> schedule -> trace is event-for-event exact,
+both for the golden pair and for freshly generated traces, so neither
+format (nor the mapping between them) can drift silently.  Regenerate
+with ``PYTHONPATH=src python tests/data/make_golden.py`` -- only
+legitimate alongside a deliberate format bump.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.p2p.availability import ExponentialOnOff
+from repro.p2p.churn import ExponentialLifetime
+from repro.p2p.traces import ChurnTrace, generate_trace
+from repro.scenario import Schedule
+
+DATA = pathlib.Path(__file__).parent.parent / "data"
+TRACE_GOLDEN = DATA / "churn_trace_golden.json"
+SCHEDULE_GOLDEN = DATA / "scenario_schedule_golden.json"
+
+
+def golden_trace() -> ChurnTrace:
+    return ChurnTrace.load(TRACE_GOLDEN)
+
+
+class TestGoldenFixtures:
+    def test_golden_trace_parses_with_pinned_format(self):
+        payload = json.loads(TRACE_GOLDEN.read_text())
+        assert payload["format"] == "repro-churn-trace-v1"
+        trace = golden_trace()
+        assert trace.peer_count == 4
+        assert trace.horizon == 12.0
+
+    def test_golden_schedule_matches_compiled_trace(self):
+        """The pinned schedule file IS the pinned trace, compiled."""
+        assert Schedule.from_trace(golden_trace()) == Schedule.load(SCHEDULE_GOLDEN)
+
+    def test_golden_schedule_json_is_byte_stable(self):
+        """Saving the compiled schedule reproduces the fixture exactly."""
+        compiled = Schedule.from_trace(golden_trace())
+        assert json.dumps(compiled.to_jsonable(), indent=2) == (
+            SCHEDULE_GOLDEN.read_text()
+        )
+
+    def test_golden_round_trip_event_for_event(self):
+        trace = golden_trace()
+        restored = Schedule.load(SCHEDULE_GOLDEN).to_trace()
+        assert restored.events == trace.events
+        assert restored.horizon == trace.horizon
+
+
+class TestFreshTraces:
+    @pytest.mark.parametrize("seed", [0, 7, 99])
+    def test_generated_traces_round_trip(self, seed):
+        trace = generate_trace(
+            peers=5,
+            horizon=20.0,
+            lifetime_model=ExponentialLifetime(25.0),
+            availability_model=ExponentialOnOff(5.0, 2.0),
+            seed=seed,
+        )
+        schedule = Schedule.from_trace(trace)
+        assert schedule.to_trace() == trace
+
+    def test_round_trip_through_json_too(self, tmp_path):
+        """trace -> schedule -> JSON -> schedule -> trace, all exact."""
+        trace = golden_trace()
+        schedule = Schedule.from_trace(trace)
+        path = tmp_path / "schedule.json"
+        schedule.save(path)
+        assert Schedule.load(path).to_trace() == trace
