@@ -1,0 +1,258 @@
+"""GF(2^16) kernel throughput: seed pipeline vs the batched kernels.
+
+The paper's section 5.2 uses measured coding times to compute Table 1's
+*bottleneck bandwidths* -- the network speed above which CPU, not the
+wire, limits each operation.  ROADMAP item 1 says the pure-numpy GF
+kernels were that ceiling; this bench measures what the
+:mod:`repro.gf.kernels` pipeline changed, on the Table-1 sweet spot
+RC(8,8,10,1).
+
+Kernels compared on one 64 MB encode (same element-ops for all):
+
+- ``seed``      -- the original per-piece broadcast ``gf_matmul`` loop
+                   (kept as the ``reference`` backend), replayed exactly
+                   as the seed ``insert`` called it: one matmul per piece;
+- ``blocked``   -- the cache-blocked fused-table kernel on the batched
+                   (all pieces stacked) product;
+- ``sharded``   -- the same, fanned out over ``REPRO_GF_WORKERS`` column
+                   shards;
+- ``numba``     -- the JIT backend, when numba is installed.
+
+Script mode re-times the five Table-1 operations with the active kernels
+and recomputes the paper's bottleneck bandwidths from the measured
+numbers, then writes everything to ``BENCH_gf_kernels.json``::
+
+    PYTHONPATH=src python benchmarks/bench_gf_kernels.py \\
+        --json BENCH_gf_kernels.json
+
+The pytest entry runs a smoke-sized version of the same comparison so CI
+catches kernel-throughput regressions alongside correctness ones.
+"""
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+try:
+    from conftest import emit
+except ImportError:  # script mode from another working directory
+
+    def emit(text: str) -> None:
+        print(text)
+
+from repro.analysis.tables import render_table
+from repro.analysis.timing import time_operations
+from repro.core.bandwidth import BandwidthReport
+from repro.core.params import RCParams
+from repro.core.regenerating import RandomLinearRegeneratingCode
+from repro.gf import kernels
+from repro.gf.field import GF
+
+PARAMS = RCParams(8, 8, 10, 1)  # the Table-1 sweet spot
+FILE_BYTES = 64 << 20
+SMOKE_FILE_BYTES = 4 << 20
+
+
+def _encode_operands(params: RCParams, file_bytes: int):
+    """The encode-shaped operands: stacked coefficients x original matrix."""
+    field = GF(16)
+    rng = np.random.default_rng(20090622)
+    code = RandomLinearRegeneratingCode(params, field=field, rng=rng)
+    data = rng.integers(0, 256, size=file_bytes, dtype=np.uint8).tobytes()
+    original, _ = code._pad(data)
+    total_rows = params.total_pieces * params.n_piece
+    stacked = field.random((total_rows, params.n_file), rng)
+    return field, stacked, original
+
+
+def _seed_pipeline(field, stacked, original, n_piece: int) -> np.ndarray:
+    """The pre-kernels encode: one broadcast gf_matmul per piece."""
+    outputs = [
+        kernels._matmul_reference(field, stacked[start : start + n_piece], original)
+        for start in range(0, stacked.shape[0], n_piece)
+    ]
+    return np.concatenate(outputs, axis=0)
+
+
+def _clock(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def measure_kernels(params: RCParams, file_bytes: int, repeats: int) -> list[dict]:
+    field, stacked, original = _encode_operands(params, file_bytes)
+    element_ops = stacked.shape[0] * stacked.shape[1] * original.shape[1]
+    runs = [
+        (
+            "reference",
+            "seed",
+            lambda: _seed_pipeline(field, stacked, original, params.n_piece),
+        ),
+        ("numpy", "blocked", lambda: kernels.matmul_blocked(field, stacked, original)),
+        ("numpy", "sharded", lambda: kernels.matmul_sharded(field, stacked, original)),
+    ]
+    if "numba" in kernels.available_backends():
+        runs.append(
+            ("numba", "jit", lambda: kernels._matmul_numba(field, stacked, original))
+        )
+    expected = None
+    results = []
+    for backend, kernel, fn in runs:
+        out = fn()  # warm-up; doubles as the cross-kernel exactness check
+        if expected is None:
+            expected = out
+        else:
+            assert np.array_equal(out, expected), f"{kernel} output differs"
+        seconds = _clock(fn, repeats)
+        results.append(
+            {
+                "backend": backend,
+                "kernel": kernel,
+                "seconds": round(seconds, 6),
+                "element_ops": element_ops,
+                "elements_per_second": round(element_ops / seconds, 1),
+                "mbytes_per_second": round(
+                    element_ops * field.element_size / seconds / 1e6, 2
+                ),
+            }
+        )
+    return results
+
+
+def _speedup(results: list[dict], kernel: str) -> float:
+    by_kernel = {record["kernel"]: record for record in results}
+    return by_kernel["seed"]["seconds"] / by_kernel[kernel]["seconds"]
+
+
+def table1_rows(file_bytes: int, repeats: int) -> list[dict]:
+    """The paper's Table 1 recomputed from times measured with the active
+    kernels: bottleneck bandwidth per operation, per configuration."""
+    rows = []
+    for params in (RCParams.erasure(8, 8), PARAMS, RCParams(8, 8, 15, 7)):
+        timing = time_operations(
+            params, file_size=file_bytes, rng=np.random.default_rng(31), repeats=repeats
+        )
+        report = BandwidthReport.from_times(params, file_bytes, timing.as_dict())
+        rows.append(
+            {
+                "params": {"k": params.k, "h": params.h, "d": params.d, "i": params.i},
+                "times_s": {
+                    op.name.lower(): round(seconds, 6)
+                    for op, seconds in timing.as_dict().items()
+                },
+                "bottleneck_mbps": {
+                    op.name.lower(): (
+                        None if bps == float("inf") else round(bps / 1e6, 2)
+                    )
+                    for op, bps in report.bandwidth_bps.items()
+                },
+            }
+        )
+    return rows
+
+
+def run_bench(file_bytes: int, repeats: int, table_repeats: int) -> dict:
+    results = measure_kernels(PARAMS, file_bytes, repeats)
+    record = {
+        "bench": "gf_kernels",
+        "params": {"k": PARAMS.k, "h": PARAMS.h, "d": PARAMS.d, "i": PARAMS.i},
+        "file_bytes": file_bytes,
+        "backend_default": kernels.active_backend(),
+        "workers_default": kernels.default_workers(),
+        "kernels": results,
+        "speedup_blocked_vs_seed": round(_speedup(results, "blocked"), 2),
+        "speedup_sharded_vs_seed": round(_speedup(results, "sharded"), 2),
+        "table1": table1_rows(file_bytes, table_repeats),
+    }
+    return record
+
+
+def render(record: dict) -> None:
+    rows = [
+        [
+            r["kernel"],
+            r["backend"],
+            f"{r['seconds'] * 1e3:.0f}",
+            f"{r['elements_per_second'] / 1e6:.0f}",
+            f"{r['mbytes_per_second']:.0f}",
+        ]
+        for r in record["kernels"]
+    ]
+    emit(
+        f"\nGF(2^16) encode kernels, RC(8,8,10,1), "
+        f"{record['file_bytes'] >> 20} MB file"
+    )
+    emit(render_table(["kernel", "backend", "ms", "Melem/s", "MB/s"], rows))
+    emit(
+        f"blocked vs seed: {record['speedup_blocked_vs_seed']:.1f}x, "
+        f"sharded vs seed: {record['speedup_sharded_vs_seed']:.1f}x"
+    )
+    t1 = [
+        [
+            "RC({k},{h},{d},{i})".format(**row["params"]),
+            *(
+                "inf" if row["bottleneck_mbps"][op] is None
+                else f"{row['bottleneck_mbps'][op]:.1f}"
+                for op in (
+                    "encoding",
+                    "participant_repair",
+                    "newcomer_repair",
+                    "inversion",
+                    "decoding",
+                )
+            ),
+        ]
+        for row in record["table1"]
+    ]
+    emit("\nTable 1 bottleneck bandwidths (Mbit/s) from measured times")
+    emit(
+        render_table(
+            ["config", "encode", "particip.", "newcomer", "inversion", "decode"], t1
+        )
+    )
+
+
+def test_blocked_kernel_beats_seed_smoke():
+    """Smoke-sized CI guard: the blocked kernel must stay well ahead of
+    the seed broadcast pipeline on an encode-shaped product."""
+    record = run_bench(SMOKE_FILE_BYTES, repeats=2, table_repeats=1)
+    emit("GF-KERNELS " + json.dumps(record, sort_keys=True))
+    render(record)
+    assert record["speedup_blocked_vs_seed"] >= 2.0
+    # Sharding may not help on a single-core runner, but it must never
+    # cost an order of magnitude or change results (exactness is asserted
+    # inside measure_kernels).
+    assert record["speedup_sharded_vs_seed"] > 0.5
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(
+        description="GF kernel throughput and Table-1 bottleneck bandwidths"
+    )
+    parser.add_argument("--json", type=Path, default=None, metavar="FILE",
+                        help="write the full record to FILE")
+    parser.add_argument("--file-bytes", type=int, default=FILE_BYTES)
+    parser.add_argument("--repeats", type=int, default=2,
+                        help="best-of rounds per kernel")
+    parser.add_argument("--table-repeats", type=int, default=1,
+                        help="best-of rounds per Table-1 operation timing")
+    args = parser.parse_args(argv)
+
+    record = run_bench(args.file_bytes, args.repeats, args.table_repeats)
+    emit("GF-KERNELS " + json.dumps(record, sort_keys=True))
+    render(record)
+    if args.json is not None:
+        args.json.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+        emit(f"wrote {args.json}")
+
+
+if __name__ == "__main__":
+    main()

@@ -29,7 +29,7 @@ import numpy as np
 
 from repro.core.blocks import EncodedFile, Fragment, Piece
 from repro.core.params import RCParams
-from repro.gf import linalg
+from repro.gf import kernels, linalg
 from repro.gf.field import GF, GaloisField
 
 __all__ = [
@@ -127,20 +127,39 @@ class RandomLinearRegeneratingCode:
         elements = self.field.bytes_to_elements(padded)
         return elements.reshape(self.params.n_file, -1), padded_size
 
-    def insert(self, data: bytes) -> EncodedFile:
+    def insert(self, data: bytes, workers: int | None = None) -> EncodedFile:
         """Encode ``data`` into k + h pieces (section 3.2, insertion).
 
         Every piece is ``n_piece`` random linear combinations of the
         ``n_file`` original fragments; the (n_piece, n_file) coefficient
         matrix is stored with the piece.
+
+        ``workers`` bounds the thread fan-out of the per-piece matrix
+        products (default: ``REPRO_GF_WORKERS`` or the CPU count).  All
+        coefficient matrices are drawn *before* any product, so the rng
+        stream -- and therefore the encoded bytes -- are identical for
+        every worker count.
         """
         original, padded_size = self._pad(data)
         n_file, l_frag = original.shape
-        pieces = []
-        for index in range(self.params.total_pieces):
-            coefficients = self.field.random((self.params.n_piece, n_file), self.rng)
-            piece_data = linalg.gf_matmul(self.field, coefficients, original)
-            pieces.append(Piece(index=index, data=piece_data, coefficients=coefficients))
+        n_piece = self.params.n_piece
+        coefficient_sets = [
+            self.field.random((n_piece, n_file), self.rng)
+            for _ in range(self.params.total_pieces)
+        ]
+        # Batched encode: every piece's rows go through ONE stacked matmul
+        # (rows are independent, so per-piece output is byte-identical to
+        # per-piece products) -- one kernel dispatch instead of k + h.
+        stacked = np.concatenate(coefficient_sets, axis=0)
+        combined = kernels.matmul_sharded(self.field, stacked, original, workers=workers)
+        pieces = [
+            Piece(
+                index=index,
+                data=combined[index * n_piece : (index + 1) * n_piece],
+                coefficients=coefficients,
+            )
+            for index, coefficients in enumerate(coefficient_sets)
+        ]
         return EncodedFile(
             pieces=tuple(pieces),
             file_size=len(data),

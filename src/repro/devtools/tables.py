@@ -154,6 +154,10 @@ GF_LINALG_FUNCTIONS = frozenset(
     {
         "gf_matmul",
         "gf_matvec",
+        # repro.gf.kernels -- names are deliberately unique (a bare
+        # "matmul"/"matvec" here would false-positive on numpy's own).
+        "matmul_blocked",
+        "matmul_sharded",
         "rref",
         "inverse",
         "solve",

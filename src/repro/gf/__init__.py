@@ -6,6 +6,8 @@ log/exp tables ("3 lookups and 1 addition").  This package provides that
 substrate:
 
 - :mod:`repro.gf.field` -- the field itself, with vectorized numpy kernels.
+- :mod:`repro.gf.kernels` -- batched, cache-blocked matmul kernels with
+  pluggable backends (``REPRO_GF_BACKEND``) and thread fan-out.
 - :mod:`repro.gf.linalg` -- linear algebra over the field (matrix product,
   inversion, rank, and the independent-row extraction used during
   reconstruction).
@@ -13,6 +15,7 @@ substrate:
   Reed-Solomon baseline.
 """
 
+from repro.gf import kernels
 from repro.gf.field import GF, GF16, GF256, GF65536, GaloisField
 from repro.gf.linalg import (
     LinAlgError,
@@ -42,6 +45,7 @@ __all__ = [
     "gf_matvec",
     "inverse",
     "is_invertible",
+    "kernels",
     "nullspace_vector",
     "random_matrix",
     "rank",

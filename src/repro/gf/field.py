@@ -51,7 +51,8 @@ def _build_tables(q: int, poly: int) -> tuple[np.ndarray, np.ndarray]:
     """Build the log and (doubled) exp tables for GF(2^q).
 
     Returns ``(log, exp2)`` where ``log`` has length 2^q (``log[0]`` is a
-    sentinel 0 and must never be used unmasked) and ``exp2`` has length
+    sentinel 0 and must never be used unmasked -- the fused tables below
+    remove that hazard for the hot kernels) and ``exp2`` has length
     ``2 * (2^q - 1)`` so that ``exp2[log[a] + log[b]]`` needs no modulo
     reduction -- the sum of two logs is at most ``2 * (2^q - 2)``.
     """
@@ -70,6 +71,35 @@ def _build_tables(q: int, poly: int) -> tuple[np.ndarray, np.ndarray]:
         raise ValueError(f"polynomial {poly:#x} is not primitive for q={q}")
     exp2 = np.concatenate([exp, exp]).astype(np.uint32)
     return log, exp2
+
+
+def _build_fused_tables(
+    log: np.ndarray, exp2: np.ndarray, q: int, dtype: np.dtype
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """Zero-extended log/exp tables: products need no zero-masking pass.
+
+    ``log0`` equals ``log`` except that ``log0[0]`` is a sentinel pushed
+    *past* every index two real logs can sum to, and ``exp0`` extends the
+    doubled exp table with zeros up to twice that sentinel.  Then
+
+        exp0[log0[a] + log0[b]]
+
+    is the field product for **all** operands including zero: any index
+    involving the sentinel lands in the zero region of ``exp0``, so the
+    classic "``log[0]`` must never be used unmasked" hazard cannot occur
+    by construction (the Jerasure-style table layout).  Costs about
+    ``3 * 2^q`` extra table bytes -- ~768 KB for the paper's q = 16.
+    """
+    mul_group = (1 << q) - 1
+    # Real logs are in [0, mul_group - 1]; their pairwise sums reach
+    # 2 * mul_group - 2, so the first index that cannot be produced by
+    # two non-zero operands is 2 * mul_group - 1 < sentinel.
+    sentinel = 2 * mul_group + 1
+    log0 = log.astype(np.int32)
+    log0[0] = sentinel
+    exp0 = np.zeros(2 * sentinel + 1, dtype=dtype)
+    exp0[: 2 * mul_group] = exp2[: 2 * mul_group].astype(dtype)
+    return log0, exp0, sentinel
 
 
 class GaloisField:
@@ -93,6 +123,13 @@ class GaloisField:
         self.dtype = np.dtype(np.uint8 if q <= 8 else np.uint16)
         #: Number of bytes used to store one element (the paper's q=16 gives 2).
         self.element_size = self.dtype.itemsize
+        # Fused tables used by the batched kernels (repro.gf.kernels) and
+        # the element-wise product: zero operands are correct without a
+        # masking pass because the log-of-zero sentinel maps into the
+        # zero-extended region of the exp table.
+        self._log0, self._exp0, self._log_sentinel = _build_fused_tables(
+            self._log, self._exp2, q, self.dtype
+        )
 
     # ------------------------------------------------------------------
     # representation and validation
@@ -117,8 +154,27 @@ class GaloisField:
         if arr.dtype.kind not in "ui":
             raise TypeError(f"field elements must be integers, got dtype {arr.dtype}")
         if arr.size and (int(arr.max(initial=0)) >= self.order or int(arr.min(initial=0)) < 0):
-            raise ValueError(f"values out of range for GF(2^{self.q})")
+            raise ValueError(
+                f"values out of range for GF(2^{self.q}) "
+                f"(dtype {arr.dtype}, min {int(arr.min())}, max {int(arr.max())}); "
+                f"coercing would silently wrap them into wrong field elements"
+            )
         return arr.astype(self.dtype, copy=False)
+
+    def _coerce(self, values) -> np.ndarray:
+        """Kernel-boundary coercion with dtype discipline.
+
+        Arrays already carrying the field dtype pass through untouched
+        (the hot path -- no scan).  Anything else (Python ints, int64
+        arrays, ...) is routed through :meth:`asarray`, which rejects
+        non-integer dtypes and out-of-range values with a clear error
+        instead of letting ``np.asarray(..., dtype=self.dtype)`` wrap
+        them into well-formed garbage elements.
+        """
+        arr = np.asarray(values)
+        if arr.dtype == self.dtype:
+            return arr
+        return self.asarray(arr)
 
     def zeros(self, shape) -> np.ndarray:
         return np.zeros(shape, dtype=self.dtype)
@@ -145,22 +201,22 @@ class GaloisField:
 
     def add(self, a, b) -> np.ndarray:
         """Field addition: XOR of the binary representations (paper 4.2)."""
-        return np.bitwise_xor(a, b).astype(self.dtype, copy=False)
+        return np.bitwise_xor(self._coerce(a), self._coerce(b))
 
     # In characteristic 2 subtraction and addition coincide.
     subtract = add
 
     def multiply(self, a, b) -> np.ndarray:
-        """Field product computed in log space: ``exp(log a + log b)``."""
-        a = np.asarray(a, dtype=self.dtype)
-        b = np.asarray(b, dtype=self.dtype)
-        idx = self._log[a].astype(np.uint32) + self._log[b]
-        out = self._exp2[idx].astype(self.dtype)
-        zero = (a == 0) | (b == 0)
-        if zero.ndim == 0:
-            return self.dtype.type(0) if zero else out[()] if out.ndim == 0 else out
-        out[zero] = 0
-        return out
+        """Field product in log space: one fused ``exp0[log0 a + log0 b]``.
+
+        The zero-extended tables make this exact for zero operands with
+        no masking pass -- the paper's "3 table lookups and 1 integer
+        addition", now for every input.
+        """
+        a = self._coerce(a)
+        b = self._coerce(b)
+        out = self._exp0[self._log0[a] + self._log0[b]]
+        return out[()] if out.ndim == 0 else out
 
     def multiply_direct(self, a, b) -> np.ndarray:
         """Field product via shift-and-add in the polynomial basis.
@@ -170,8 +226,8 @@ class GaloisField:
         kernel -- it exists as an *independent implementation* so tests
         can cross-validate the tables against first principles.
         """
-        a = np.asarray(a, dtype=np.uint32).copy()
-        b = np.asarray(b, dtype=np.uint32).copy()
+        a = self._coerce(a).astype(np.uint32)
+        b = self._coerce(b).astype(np.uint32)
         a, b = np.broadcast_arrays(a.copy(), b.copy())
         a = a.copy()
         b = b.copy()
@@ -188,8 +244,8 @@ class GaloisField:
 
     def divide(self, a, b) -> np.ndarray:
         """Field quotient ``a / b``; raises ZeroDivisionError if any b == 0."""
-        a = np.asarray(a, dtype=self.dtype)
-        b = np.asarray(b, dtype=self.dtype)
+        a = self._coerce(a)
+        b = self._coerce(b)
         if np.any(b == 0):
             raise ZeroDivisionError("division by zero in Galois field")
         mul_group = self.order - 1
@@ -207,7 +263,7 @@ class GaloisField:
 
     def power(self, a, n: int) -> np.ndarray:
         """Raise elements to the integer power ``n`` (n may be negative)."""
-        a = np.asarray(a, dtype=self.dtype)
+        a = self._coerce(a)
         mul_group = self.order - 1
         if np.any(a == 0):
             if n < 0:
@@ -229,7 +285,7 @@ class GaloisField:
 
     def log(self, a) -> np.ndarray:
         """Discrete log base the generator; undefined (raises) for zero."""
-        a = np.asarray(a, dtype=self.dtype)
+        a = self._coerce(a)
         if np.any(a == 0):
             raise ValueError("log of zero is undefined in a Galois field")
         return self._log[a].astype(np.int64)
@@ -240,7 +296,7 @@ class GaloisField:
 
     def scale(self, coefficient, vector) -> np.ndarray:
         """Multiply a whole fragment (element vector) by one coefficient."""
-        return self.multiply(np.asarray(coefficient, dtype=self.dtype), vector)
+        return self.multiply(coefficient, vector)
 
     def axpy(self, coefficient, x, y) -> np.ndarray:
         """Return ``coefficient * x + y`` -- the core combination step."""
@@ -253,15 +309,15 @@ class GaloisField:
         result has shape (l,).  This is the 5nl-operation primitive of
         the paper's section 4.2 (n*l multiplications + n*l additions).
         """
-        coefficients = np.asarray(coefficients, dtype=self.dtype)
-        vectors = np.asarray(vectors, dtype=self.dtype)
+        coefficients = self._coerce(coefficients)
+        vectors = self._coerce(vectors)
         if vectors.ndim != 2:
             raise ValueError("vectors must be a (n, l) matrix of elements")
         if coefficients.shape != (vectors.shape[0],):
             raise ValueError(
                 f"need {vectors.shape[0]} coefficients, got shape {coefficients.shape}"
             )
-        products = self.multiply(coefficients[:, None], vectors)
+        products = self._exp0[self._log0[coefficients][:, None] + self._log0[vectors]]
         return np.bitwise_xor.reduce(products, axis=0).astype(self.dtype, copy=False)
 
     # ------------------------------------------------------------------
@@ -290,6 +346,24 @@ class GaloisField:
         return np.ascontiguousarray(
             np.asarray(elements, dtype=self.dtype).astype(self.dtype.newbyteorder("<"))
         ).tobytes()
+
+    def elements_to_buffer(self, elements: np.ndarray) -> memoryview | bytes:
+        """Little-endian byte view of field elements, zero-copy when possible.
+
+        On a little-endian host a C-contiguous element array is returned
+        as a :class:`memoryview` that **aliases the array's memory** --
+        callers must not mutate the array while the buffer is in flight
+        (the zero-copy RGNP framing path writes these views straight to
+        the socket).  Otherwise a byte copy is made, exactly matching
+        :meth:`elements_to_bytes`.
+        """
+        if self.q not in (8, 16):
+            raise ValueError("byte packing requires q == 8 or q == 16")
+        arr = self._coerce(elements)
+        le = arr.astype(self.dtype.newbyteorder("<"), copy=False)
+        if le.flags["C_CONTIGUOUS"]:
+            return memoryview(le).cast("B")
+        return le.tobytes()
 
 
 _FIELD_LOCK = threading.Lock()

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.gf import kernels
 from repro.gf.field import GaloisField
 
 __all__ = [
@@ -48,33 +49,20 @@ def _as_matrix(field: GaloisField, a) -> np.ndarray:
     return arr
 
 
-def gf_matmul(field: GaloisField, a, b, row_block: int = 64) -> np.ndarray:
+def gf_matmul(field: GaloisField, a, b, row_block: int = kernels.DEFAULT_ROW_BLOCK) -> np.ndarray:
     """Matrix product over the field.
 
-    Computed row-block by row-block to bound the size of the (block, k, n)
-    product intermediate; ``row_block`` trades memory for fewer numpy
-    dispatches.
+    Dispatches to the batched kernels in :mod:`repro.gf.kernels`
+    (cache-blocked fused-table numpy by default; ``REPRO_GF_BACKEND``
+    selects an alternative).  ``row_block`` bounds the broadcast
+    intermediate on the small-matrix path and must be >= 1.
     """
-    a = _as_matrix(field, a)
-    b = _as_matrix(field, b)
-    if a.shape[1] != b.shape[0]:
-        raise ValueError(f"shape mismatch for matmul: {a.shape} x {b.shape}")
-    out = field.zeros((a.shape[0], b.shape[1]))
-    for start in range(0, a.shape[0], row_block):
-        block = a[start : start + row_block]
-        products = field.multiply(block[:, :, None], b[None, :, :])
-        out[start : start + row_block] = np.bitwise_xor.reduce(products, axis=1)
-    return out
+    return kernels.matmul(field, a, b, row_block=row_block)
 
 
 def gf_matvec(field: GaloisField, a, x) -> np.ndarray:
     """Matrix-vector product ``a @ x`` over the field."""
-    a = _as_matrix(field, a)
-    x = field.asarray(x)
-    if x.ndim != 1 or x.shape[0] != a.shape[1]:
-        raise ValueError(f"shape mismatch for matvec: {a.shape} x {x.shape}")
-    products = field.multiply(a, x[None, :])
-    return np.bitwise_xor.reduce(products, axis=1).astype(field.dtype, copy=False)
+    return kernels.matvec(field, a, x)
 
 
 def _eliminate(field: GaloisField, work: np.ndarray) -> tuple[np.ndarray, list[int]]:
@@ -227,14 +215,10 @@ def extract_independent_rows(field: GaloisField, a, count: int | None = None) ->
 def _scaled_outer(field: GaloisField, factors: np.ndarray, row: np.ndarray) -> np.ndarray:
     """``factors[:, None] * row[None, :]`` with one log pass per operand.
 
-    Elimination hot path: ``factors`` must be non-zero (callers select
-    them via ``np.nonzero``); ``row`` may contain zeros.
+    Elimination hot path.  Uses the fused zero-extended tables, so zero
+    factors *and* zero row entries are exact with no masking pass.
     """
-    log_factors = field._log[factors].astype(np.uint32)
-    log_row = field._log[row]
-    out = field._exp2[log_factors[:, None] + log_row[None, :]].astype(field.dtype)
-    out[:, row == 0] = 0
-    return out
+    return field._exp0[field._log0[factors][:, None] + field._log0[row][None, :]]
 
 
 def extract_and_invert(

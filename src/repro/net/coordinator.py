@@ -335,7 +335,10 @@ class Coordinator:
         """
         if not peers:
             raise InsufficientPeersError("insertion needs at least one peer")
-        encoded = self.code.insert(data)
+        # Encoding a large file is CPU-heavy GF matmul work; run it off the
+        # event loop so the daemon keeps serving while the kernel fans out
+        # across REPRO_GF_WORKERS threads.
+        encoded = await asyncio.to_thread(self.code.insert, data)
         manifest = NetManifest(
             file_id=file_id,
             k=self.params.k,
@@ -607,7 +610,11 @@ class Coordinator:
                 rows.append(matrices[position][row_cursor[position]])
                 row_cursor[position] += 1
             stacked = np.stack(rows)
-            original = linalg.gf_matmul(self.field, plan.inverse, stacked)
+            # The final decode is the other big GF product; keep the event
+            # loop free while the blocked kernel runs.
+            original = await asyncio.to_thread(
+                linalg.gf_matmul, self.field, plan.inverse, stacked
+            )
             data = self.field.elements_to_bytes(original.reshape(-1))
             payload = stacked.size * self.field.element_size
             stats = ReconstructStats(

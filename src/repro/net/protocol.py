@@ -76,6 +76,7 @@ __all__ = [
     "RepairRead",
     "FragmentData",
     "encode_message",
+    "encode_frames",
     "decode_message",
     "read_message",
     "write_message",
@@ -133,11 +134,27 @@ def _unpack_key(body: bytes, offset: int = 0) -> tuple[str, int]:
     return body[offset + 2 : end].decode("utf-8"), end
 
 
+#: A frame part: anything the transport can write without copying.
+Buffer = bytes | bytearray | memoryview
+
+
 @dataclasses.dataclass(frozen=True)
 class Message:
     """Base class: each concrete message knows its body layout."""
 
     TYPE: ClassVar[MessageType | None] = None  # overridden per subclass
+
+    def encode_body_parts(self) -> list[Buffer]:
+        """The body as a list of buffers, bulky payloads left unjoined.
+
+        This is the zero-copy framing surface: :func:`write_message`
+        hands the list straight to ``StreamWriter.writelines`` (the
+        ``writev`` analogue), so a multi-megabyte piece blob is never
+        concatenated into a fresh byte string just to be framed.
+        Messages with large payloads override this; small fixed-layout
+        messages inherit the single-part default.
+        """
+        return [self.encode_body()]
 
     def encode_body(self) -> bytes:
         return b""
@@ -187,15 +204,20 @@ class Error(Message):
 class StorePiece(Message):
     TYPE: ClassVar[MessageType] = MessageType.STORE_PIECE
     key: str = ""
-    blob: bytes = b""
+    blob: Buffer = b""
+
+    def encode_body_parts(self) -> list[Buffer]:
+        return [_pack_key(self.key), self.blob]
 
     def encode_body(self) -> bytes:
-        return _pack_key(self.key) + self.blob
+        return _pack_key(self.key) + bytes(self.blob)
 
     @classmethod
     def decode_body(cls, body: bytes, flags: int) -> "StorePiece":
         key, end = _unpack_key(body)
-        return cls(key=key, blob=body[end:])
+        # memoryview slice: the blob may be most of a 2^28-byte frame and
+        # goes straight into the BlockStore, which accepts any buffer.
+        return cls(key=key, blob=memoryview(body)[end:])
 
 
 @dataclasses.dataclass(frozen=True)
@@ -222,10 +244,13 @@ class GetPiece(Message):
 @dataclasses.dataclass(frozen=True)
 class PieceData(Message):
     TYPE: ClassVar[MessageType] = MessageType.PIECE
-    blob: bytes = b""
+    blob: Buffer = b""
+
+    def encode_body_parts(self) -> list[Buffer]:
+        return [self.blob]
 
     def encode_body(self) -> bytes:
-        return self.blob
+        return bytes(self.blob)
 
     @classmethod
     def decode_body(cls, body: bytes, flags: int) -> "PieceData":
@@ -269,19 +294,24 @@ class Rows(Message):
 
     TYPE: ClassVar[MessageType] = MessageType.ROWS
     q: int = 16
-    data: bytes = b""     # n_rows * l_frag little-endian elements
+    data: Buffer = b""    # n_rows * l_frag little-endian elements
     n_rows: int = 0
     l_frag: int = 0
 
+    def encode_body_parts(self) -> list[Buffer]:
+        return [_ROWS_HEADER.pack(self.q, 0, 0, self.n_rows, self.l_frag), self.data]
+
     def encode_body(self) -> bytes:
-        return _ROWS_HEADER.pack(self.q, 0, 0, self.n_rows, self.l_frag) + self.data
+        return _ROWS_HEADER.pack(self.q, 0, 0, self.n_rows, self.l_frag) + bytes(
+            self.data
+        )
 
     @classmethod
     def decode_body(cls, body: bytes, flags: int) -> "Rows":
         if len(body) < _ROWS_HEADER.size:
             raise ProtocolError("ROWS body too short")
         q, _, _, n_rows, l_frag = _ROWS_HEADER.unpack_from(body)
-        data = body[_ROWS_HEADER.size :]
+        data = memoryview(body)[_ROWS_HEADER.size :]
         if q not in (8, 16):
             raise ProtocolError(f"ROWS: unsupported field exponent q={q}")
         element_size = GF(q).element_size
@@ -298,9 +328,12 @@ class Rows(Message):
     @classmethod
     def from_matrix(cls, field: GaloisField, matrix: np.ndarray) -> "Rows":
         n_rows, l_frag = matrix.shape
+        # Zero-copy: the buffer aliases the matrix, which the message now
+        # keeps alive; no per-response payload copy is made before the
+        # socket write.
         return cls(
             q=field.q,
-            data=field.elements_to_bytes(matrix.reshape(-1)),
+            data=field.elements_to_buffer(matrix.reshape(-1)),
             n_rows=n_rows,
             l_frag=l_frag,
         )
@@ -325,10 +358,13 @@ class RepairRead(Message):
 @dataclasses.dataclass(frozen=True)
 class FragmentData(Message):
     TYPE: ClassVar[MessageType] = MessageType.FRAGMENT
-    blob: bytes = b""
+    blob: Buffer = b""
+
+    def encode_body_parts(self) -> list[Buffer]:
+        return [self.blob]
 
     def encode_body(self) -> bytes:
-        return self.blob
+        return bytes(self.blob)
 
     @classmethod
     def decode_body(cls, body: bytes, flags: int) -> "FragmentData":
@@ -352,22 +388,33 @@ _REGISTRY: dict[int, type[Message]] = {
 }
 
 
+def encode_frames(message: Message) -> list[Buffer]:
+    """Frame ``message`` as a buffer list: ``[header, *body parts]``.
+
+    The zero-copy encoding path: bulky payloads (piece blobs, fragment
+    rows) stay as the caller's buffers and are written to the socket with
+    one ``writelines`` call instead of being joined into a fresh byte
+    string.  :func:`encode_message` is the joined form for callers that
+    need contiguous bytes (tests, fault injection's frame mangling).
+    """
+    parts = message.encode_body_parts()
+    body_len = sum(len(part) for part in parts)
+    if body_len > MAX_BODY_BYTES:
+        raise ProtocolError(f"body of {body_len} bytes exceeds frame limit")
+    header = _FRAME.pack(
+        PROTOCOL_MAGIC,
+        PROTOCOL_VERSION,
+        int(message.TYPE),
+        message.flags,
+        0,
+        body_len,
+    )
+    return [header, *(part for part in parts if len(part))]
+
+
 def encode_message(message: Message) -> bytes:
     """Serialize ``message`` into one framed byte string."""
-    body = message.encode_body()
-    if len(body) > MAX_BODY_BYTES:
-        raise ProtocolError(f"body of {len(body)} bytes exceeds frame limit")
-    return (
-        _FRAME.pack(
-            PROTOCOL_MAGIC,
-            PROTOCOL_VERSION,
-            int(message.TYPE),
-            message.flags,
-            0,
-            len(body),
-        )
-        + body
-    )
+    return b"".join(encode_frames(message))
 
 
 def _parse_frame_header(header: bytes) -> tuple[type[Message], int, int]:
@@ -437,8 +484,13 @@ async def write_message(
     stops reading leaves the kernel send buffer full forever, and an
     unbounded ``drain()`` on a bulky piece upload would stall the caller
     with it.  ``None`` keeps the historical unbounded behaviour.
+
+    Frames go out as a buffer list via ``writelines`` (``writev`` style):
+    header and payload parts are handed to the transport without being
+    concatenated first, so large piece uploads/downloads cost zero
+    framing copies.
     """
-    writer.write(encode_message(message))
+    writer.writelines(encode_frames(message))
     if timeout is None:
         await writer.drain()
     else:

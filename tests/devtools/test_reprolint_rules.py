@@ -114,6 +114,21 @@ def test_rl202_good_fixture_is_clean():
     assert lint_fixture("rl202_good.py").findings == []
 
 
+def test_rl2xx_cover_the_batched_kernels():
+    """RL201/RL202 must apply to repro.gf.kernels entry points too."""
+    report = lint_fixture("rl2xx_kernels_bad.py")
+    assert codes_and_lines(report) == [
+        ("RL201", 10),
+        ("RL201", 15),
+        ("RL202", 19),
+        ("RL202", 23),
+    ]
+
+
+def test_rl2xx_kernels_good_fixture_is_clean():
+    assert lint_fixture("rl2xx_kernels_good.py").findings == []
+
+
 def test_gf_rules_do_not_apply_to_test_code():
     # Tests legitimately build raw arrays to probe edge cases; the
     # GF-domain family is production-code-only.

@@ -1,0 +1,260 @@
+"""The batched GF kernels: exactness, edge cases, backends, fan-out.
+
+Three promises are pinned here:
+
+1. **Exactness** -- the cache-blocked fused-table kernel agrees with a
+   ``multiply_direct``-based first-principles reference (and with the
+   seed broadcast algorithm, kept as the ``reference`` backend) on every
+   shape, including the historical ``row_block`` edge cases: empty
+   matrices, single-row blocks, row counts that are not a multiple of
+   the default block.
+2. **Zero safety** -- ``0 * x == 0`` elementwise through matmul and
+   matvec for all three fields: the fused zero-extended tables must make
+   the ``log[0]`` sentinel unreachable on every kernel path.
+3. **Discipline** -- block sizes below 1 raise instead of silently
+   returning zeros, wrong-dtype operands raise instead of wrapping, and
+   the thread-sharded product is byte-identical for every worker count.
+"""
+
+import logging
+
+import numpy as np
+import pytest
+
+from repro.gf import kernels, linalg
+from repro.gf.field import GF
+
+FIELDS = [GF(4), GF(8), GF(16)]
+FIELD_IDS = [f"GF(2^{f.q})" for f in FIELDS]
+
+
+def direct_matmul(field, a, b):
+    """First-principles reference: multiply_direct + XOR accumulation."""
+    m, k = a.shape
+    n = b.shape[1]
+    out = field.zeros((m, n))
+    for i in range(m):
+        for j in range(k):
+            out[i] ^= field.multiply_direct(a[i, j], b[j])
+    return out
+
+
+@pytest.mark.parametrize("field", FIELDS, ids=FIELD_IDS)
+class TestExactness:
+    @pytest.mark.parametrize(
+        "shape",
+        [
+            (0, 4, 6),   # no output rows
+            (4, 0, 6),   # empty inner dimension
+            (4, 6, 0),   # no output columns
+            (1, 1, 1),   # single everything
+            (1, 5, 300), # single row, wide enough for the loop path
+            (3, 4, 5),
+            (65, 3, 7),  # rows not a multiple of the 64-row block
+            (7, 9, 1000),
+        ],
+    )
+    def test_blocked_matches_direct_reference(self, field, shape):
+        m, k, n = shape
+        rng = np.random.default_rng(m * 1000 + k * 100 + n + field.q)
+        a = field.random((m, k), rng)
+        b = field.random((k, n), rng)
+        expected = direct_matmul(field, a, b)
+        assert np.array_equal(kernels.matmul_blocked(field, a, b), expected)
+        assert np.array_equal(kernels._matmul_reference(field, a, b), expected)
+
+    def test_odd_block_sizes_agree(self, field):
+        rng = np.random.default_rng(field.q)
+        a = field.random((13, 7), rng)
+        b = field.random((7, 530), rng)
+        expected = kernels._matmul_reference(field, a, b)
+        for row_block in (1, 2, 13, 64, 1000):
+            for col_block in (1, 3, 256, 1 << 20):
+                got = kernels.matmul_blocked(
+                    field, a, b, row_block=row_block, col_block=col_block
+                )
+                assert np.array_equal(got, expected), (row_block, col_block)
+
+    def test_zero_and_unit_coefficients(self, field):
+        """The sentinel-skip and gather-free x1 shortcuts stay exact."""
+        rng = np.random.default_rng(field.q + 7)
+        b = field.random((5, 400), rng)
+        zeros = field.zeros((3, 5))
+        assert not kernels.matmul_blocked(field, zeros, b).any()
+        identity = field.eye(5)
+        assert np.array_equal(kernels.matmul_blocked(field, identity, b), b)
+
+    def test_matvec_matches_matmul_column(self, field):
+        rng = np.random.default_rng(field.q + 11)
+        a = field.random((6, 9), rng)
+        x = field.random((9,), rng)
+        expected = kernels.matmul_blocked(field, a, x[:, None])[:, 0]
+        assert np.array_equal(kernels.matvec(field, a, x), expected)
+        assert np.array_equal(linalg.gf_matvec(field, a, x), expected)
+
+
+@pytest.mark.parametrize("field", FIELDS, ids=FIELD_IDS)
+class TestZeroTimesXIsZero:
+    """0 * x == 0 elementwise through every kernel path (the log[0]
+    sentinel audit: a zero operand must never surface a table artifact)."""
+
+    def test_elementwise_multiply(self, field):
+        rng = np.random.default_rng(field.q)
+        x = field.random((257,), rng)
+        assert not field.multiply(field.zeros(x.shape), x).any()
+        assert not field.multiply(x, field.zeros(x.shape)).any()
+
+    @pytest.mark.parametrize("n", [1, 4, 257, 5000])
+    def test_matmul_with_zero_rows_and_columns(self, field, n):
+        """A zero coefficient row zeroes its output row; zero data
+        columns stay zero -- on both the loop and broadcast paths."""
+        rng = np.random.default_rng(field.q + n)
+        a = field.random((4, 6), rng)
+        a[2, :] = 0
+        b = field.random((6, n), rng)
+        b[:, 0] = 0
+        out = kernels.matmul_blocked(field, a, b)
+        assert not out[2].any()
+        assert not out[:, 0].any()
+        assert np.array_equal(out, direct_matmul(field, a, b))
+
+    def test_matvec_zero_vector(self, field):
+        rng = np.random.default_rng(field.q)
+        a = field.random((5, 8), rng)
+        assert not kernels.matvec(field, a, field.zeros(8)).any()
+        assert not kernels.matvec(field, field.zeros((5, 8)), field.random(8, rng)).any()
+
+
+class TestValidation:
+    def test_block_sizes_below_one_raise(self):
+        """row_block <= 0 used to make range() yield nothing and the
+        product silently come back all-zero."""
+        field = GF(16)
+        a = field.random((4, 4), np.random.default_rng(0))
+        for bad in (0, -1, -64):
+            with pytest.raises(ValueError, match="row_block"):
+                kernels.matmul_blocked(field, a, a, row_block=bad)
+            with pytest.raises(ValueError, match="row_block"):
+                linalg.gf_matmul(field, a, a, row_block=bad)
+        with pytest.raises(ValueError, match="col_block"):
+            kernels.matmul_blocked(field, a, a, col_block=0)
+
+    def test_shape_mismatch_raises(self):
+        field = GF(16)
+        with pytest.raises(ValueError, match="shape mismatch"):
+            kernels.matmul_blocked(field, field.zeros((2, 3)), field.zeros((4, 2)))
+        with pytest.raises(ValueError):
+            kernels.matvec(field, field.zeros((2, 3)), field.zeros(5))
+
+    def test_wrong_dtype_out_of_range_rejected(self):
+        """int64 values beyond the field must raise, not wrap (the old
+        behaviour silently truncated 70000 -> 4464 in GF(2^16))."""
+        field = GF(16)
+        bad = np.array([[70000]], dtype=np.int64)
+        good = field.zeros((1, 1))
+        with pytest.raises(ValueError, match="out of range"):
+            kernels.matmul_blocked(field, bad, good)
+        with pytest.raises(ValueError, match="out of range"):
+            field.multiply(bad, good)
+        with pytest.raises(ValueError, match="out of range"):
+            field.linear_combination(
+                np.array([70000], dtype=np.int64), field.zeros((1, 4))
+            )
+        with pytest.raises(TypeError, match="integers"):
+            kernels.matmul_blocked(field, np.array([[1.5]]), good)
+
+    def test_in_range_int64_coerces(self):
+        field = GF(16)
+        a = np.array([[3, 5]], dtype=np.int64)
+        b = np.array([[7], [11]], dtype=np.int64)
+        expected = direct_matmul(field, field.asarray(a), field.asarray(b))
+        assert np.array_equal(kernels.matmul_blocked(field, a, b), expected)
+
+
+class TestBackends:
+    @pytest.fixture(autouse=True)
+    def _reset_backend(self):
+        yield
+        kernels.set_backend(None)
+
+    def test_numpy_and_reference_always_available(self):
+        names = kernels.available_backends()
+        assert "numpy" in names
+        assert "reference" in names
+
+    def test_default_backend_is_numpy(self, monkeypatch):
+        monkeypatch.delenv(kernels.BACKEND_ENV, raising=False)
+        kernels.set_backend(None)
+        assert kernels.active_backend() == "numpy"
+
+    def test_set_backend_reference_dispatches(self):
+        field = GF(16)
+        rng = np.random.default_rng(1)
+        a = field.random((3, 4), rng)
+        b = field.random((4, 500), rng)
+        kernels.set_backend("reference")
+        assert kernels.active_backend() == "reference"
+        assert np.array_equal(kernels.matmul(field, a, b), direct_matmul(field, a, b))
+
+    def test_unknown_backend_rejected(self, monkeypatch):
+        with pytest.raises(ValueError, match="unknown backend"):
+            kernels.set_backend("cuda")
+        monkeypatch.setenv(kernels.BACKEND_ENV, "cuda")
+        kernels.set_backend(None)
+        with pytest.raises(ValueError, match="unknown"):
+            kernels.active_backend()
+
+    def test_missing_numba_falls_back_with_warning(self, monkeypatch, caplog):
+        if kernels._load_numba_kernel() is not None:
+            pytest.skip("numba installed; fallback path not reachable")
+        monkeypatch.setenv(kernels.BACKEND_ENV, "numba")
+        monkeypatch.setattr(kernels, "_warned_fallback", False)
+        kernels.set_backend(None)
+        with caplog.at_level(logging.WARNING, logger="repro.gf.kernels"):
+            assert kernels.active_backend() == "numpy"
+        assert any("falling back" in record.message for record in caplog.records)
+
+    def test_numba_backend_agrees_when_available(self):
+        pytest.importorskip("numba")
+        field = GF(16)
+        rng = np.random.default_rng(2)
+        a = field.random((4, 6), rng)
+        b = field.random((6, 1000), rng)
+        assert np.array_equal(
+            kernels._matmul_numba(field, a, b), kernels._matmul_reference(field, a, b)
+        )
+
+
+class TestSharded:
+    def test_worker_count_invariance(self):
+        """Disjoint column shards: the result is byte-identical for any
+        worker count, so REPRO_GF_WORKERS can never change encodings."""
+        field = GF(16)
+        rng = np.random.default_rng(3)
+        a = field.random((8, 31), rng)
+        b = field.random((31, 200_000), rng)
+        expected = kernels.matmul(field, a, b)
+        for workers in (1, 2, 3, 7):
+            got = kernels.matmul_sharded(field, a, b, workers=workers)
+            assert got.tobytes() == expected.tobytes(), workers
+
+    def test_narrow_data_does_not_shard(self):
+        field = GF(16)
+        rng = np.random.default_rng(4)
+        a = field.random((2, 3), rng)
+        b = field.random((3, 50), rng)
+        assert np.array_equal(
+            kernels.matmul_sharded(field, a, b, workers=8),
+            kernels.matmul(field, a, b),
+        )
+
+    def test_workers_validation(self, monkeypatch):
+        field = GF(16)
+        a = field.zeros((2, 2))
+        with pytest.raises(ValueError, match="workers"):
+            kernels.matmul_sharded(field, a, a, workers=0)
+        monkeypatch.setenv(kernels.WORKERS_ENV, "0")
+        with pytest.raises(ValueError, match=kernels.WORKERS_ENV):
+            kernels.default_workers()
+        monkeypatch.setenv(kernels.WORKERS_ENV, "5")
+        assert kernels.default_workers() == 5

@@ -14,7 +14,7 @@ pytest.importorskip("hypothesis")
 
 from hypothesis import assume, given, strategies as st
 
-from repro.gf import linalg
+from repro.gf import kernels, linalg
 from repro.gf.field import GF
 
 pytestmark = pytest.mark.property
@@ -131,3 +131,64 @@ class TestLinalgRoundTrips:
         assert (
             linalg.gf_matmul(field, inverse, submatrix) == field.eye(n)
         ).all()
+
+
+def naive_matmul(field, a, b):
+    """Scalar-at-a-time oracle: multiply_direct + XOR, no table tricks."""
+    m, k = a.shape
+    n = b.shape[1]
+    out = field.zeros((m, n))
+    for i in range(m):
+        for j in range(k):
+            out[i] = field.add(out[i], field.multiply_direct(a[i, j], b[j]))
+    return out
+
+
+@pytest.mark.parametrize("field", FIELDS, ids=lambda f: f"GF(2^{f.q})")
+class TestBlockedKernelProperties:
+    """The cache-blocked kernel vs the naive oracle over arbitrary shapes.
+
+    Covers the historical ``row_block`` edge cases by construction:
+    hypothesis draws empty matrices, single rows, and dimensions far from
+    any multiple of the 64-row default, plus arbitrary block sizes.
+    """
+
+    @given(
+        m=st.integers(min_value=0, max_value=9),
+        k=st.integers(min_value=0, max_value=9),
+        n=st.integers(min_value=0, max_value=40),
+        row_block=st.integers(min_value=1, max_value=12),
+        col_block=st.integers(min_value=1, max_value=50),
+        data=st.data(),
+    )
+    def test_blocked_matches_naive(self, field, m, k, n, row_block, col_block, data):
+        a = data.draw(matrices(field, m, k))
+        b = data.draw(matrices(field, k, n))
+        expected = naive_matmul(field, a, b)
+        got = kernels.matmul_blocked(
+            field, a, b, row_block=row_block, col_block=col_block
+        )
+        assert got.shape == expected.shape
+        assert (got == expected).all()
+        assert (linalg.gf_matmul(field, a, b, row_block=row_block) == expected).all()
+
+    @given(
+        m=st.integers(min_value=1, max_value=6),
+        k=st.integers(min_value=1, max_value=6),
+        n=st.integers(min_value=1, max_value=24),
+        data=st.data(),
+    )
+    def test_zero_times_x_is_zero_through_matmul(self, field, m, k, n, data):
+        """0 * x == 0 elementwise: zeroing any coefficient row zeroes
+        exactly that output row, whatever the data (the log[0] sentinel
+        must be unreachable)."""
+        a = data.draw(matrices(field, m, k))
+        b = data.draw(matrices(field, k, n))
+        row = data.draw(st.integers(min_value=0, max_value=m - 1))
+        a[row, :] = 0
+        out = kernels.matmul_blocked(field, a, b)
+        assert not out[row].any()
+        assert (out == naive_matmul(field, a, b)).all()
+        vec_out = kernels.matvec(field, a, b[:, 0]) if n else None
+        if vec_out is not None:
+            assert vec_out[row] == 0

@@ -186,13 +186,20 @@ class TestFig4MeasuredShapes:
     def measured(self):
         from repro.analysis.overhead import measured_overhead_grid
 
+        # 128 KB + best-of-3 keeps the matmul volume and timing noise in
+        # a range where the (d, i) signal survives the batched kernels'
+        # much lower per-byte cost.  The (8, 0)/(9, 0) normalizers are
+        # microsecond-scale and divide every cell, so they get extra
+        # best-of rounds.
         return measured_overhead_grid(
             k=8,
             h=8,
-            file_size=32 << 10,
+            file_size=128 << 10,
             d_values=[8, 10, 12, 15],
             i_values=[0, 3, 7],
             rng=np.random.default_rng(5),
+            repeats=3,
+            baseline_repeats=9,
         )
 
     def test_encoding_grows_with_d_and_i(self, measured):
