@@ -16,6 +16,18 @@ dialing) and write the comparison to ``BENCH_net_pooling.json``::
 
     PYTHONPATH=src python benchmarks/bench_net_throughput.py \\
         --json BENCH_net_pooling.json
+
+Two obs-flavoured script modes ride on the same storm:
+
+``--histogram``
+    print per-opcode RPC latency percentiles (p50/p95/p99, from the
+    ``client.rpc_ns`` histograms of the coordinator's obs registry)
+    instead of a single ops/s figure.
+
+``--obs-compare``
+    run the storm with metrics disabled and enabled and report the
+    throughput ratio; exits nonzero when instrumentation costs more
+    than ``--obs-threshold`` (default: on must stay >= 0.9x of off).
 """
 
 import argparse
@@ -37,6 +49,7 @@ except ImportError:  # script mode from another working directory
 from repro.analysis.tables import render_table
 from repro.core.params import RCParams
 from repro.net import Coordinator, LocalCluster
+from repro.obs import MetricsRegistry
 
 PARAMS = RCParams(8, 8, 10, 1)
 PEERS = 8
@@ -137,7 +150,9 @@ STORM_FILE_BYTES = 1024
 STORM_OPS = 100
 
 
-async def _storm(root, pool_size: int, ops: int, file_bytes: int) -> dict:
+async def _storm(root, pool_size: int, ops: int, file_bytes: int,
+                 obs_enabled: bool | None = None,
+                 with_snapshot: bool = False) -> dict:
     """Drive ``ops`` piece-level operations (store then fetch of a tiny
     blob, round-robin over the cluster) through one coordinator's cached
     clients; returns timing + connection counters.
@@ -145,6 +160,10 @@ async def _storm(root, pool_size: int, ops: int, file_bytes: int) -> dict:
     Piece stores and fetches are the unit the wire protocol actually
     moves; at ~1 KiB each, per-request connection setup is the dominant
     cost, which is exactly what pooling is supposed to erase.
+
+    ``obs_enabled`` pins the coordinator's metrics registry on or off
+    (``None``: honour ``REPRO_OBS``); ``with_snapshot`` attaches the
+    registry's snapshot to the result for histogram reporting.
     """
     from repro.core.blocks import Piece
     from repro.core.serialization import piece_to_bytes
@@ -161,10 +180,14 @@ async def _storm(root, pool_size: int, ops: int, file_bytes: int) -> dict:
         ),
         field,
     )
+    registry = (
+        None if obs_enabled is None else MetricsRegistry(enabled=obs_enabled)
+    )
     async with (
         LocalCluster(STORM_PEERS, root, seed=9) as cluster,
         Coordinator(
-            STORM_PARAMS, rng=np.random.default_rng(13), pool_size=pool_size
+            STORM_PARAMS, rng=np.random.default_rng(13), pool_size=pool_size,
+            registry=registry,
         ) as coordinator,
     ):
         loop = asyncio.get_running_loop()
@@ -181,18 +204,27 @@ async def _storm(root, pool_size: int, ops: int, file_bytes: int) -> dict:
             performed += 1
         seconds = loop.time() - start
         transport = coordinator.transport_stats()
-    return {
+        snapshot = coordinator.metrics_snapshot() if with_snapshot else None
+    result = {
         "pool_size": pool_size,
         "operations": performed,
         "seconds": round(seconds, 6),
         "ops_per_second": round(performed / seconds, 2) if seconds else None,
         **transport,
     }
+    if snapshot is not None:
+        result["snapshot"] = snapshot
+    return result
 
 
 def _run_storm(root, pool_size: int, ops: int = STORM_OPS,
-               file_bytes: int = STORM_FILE_BYTES) -> dict:
-    return asyncio.run(_storm(root, pool_size, ops, file_bytes))
+               file_bytes: int = STORM_FILE_BYTES,
+               obs_enabled: bool | None = None,
+               with_snapshot: bool = False) -> dict:
+    return asyncio.run(
+        _storm(root, pool_size, ops, file_bytes,
+               obs_enabled=obs_enabled, with_snapshot=with_snapshot)
+    )
 
 
 def test_storm_pooling_reuses_connections(cluster_root):
@@ -212,6 +244,126 @@ def test_storm_pooling_reuses_connections(cluster_root):
     assert fresh["transport_failures"] == 0
 
 
+def _microseconds(value) -> str:
+    return f"{value / 1e3:.0f}" if value is not None else "-"
+
+
+def run_histogram(args) -> None:
+    """One pooled storm with obs pinned on; report per-opcode RPC
+    latency percentiles from the ``client.rpc_ns`` histograms."""
+    import tempfile
+
+    with tempfile.TemporaryDirectory(prefix="bench_net_histogram_") as scratch:
+        run = _run_storm(
+            Path(scratch) / "storm", pool_size=args.pool_size, ops=args.ops,
+            file_bytes=args.file_bytes, obs_enabled=True, with_snapshot=True,
+        )
+    snapshot = run.pop("snapshot")
+    per_op: dict[str, dict] = {}
+    for entry in snapshot["histograms"]:
+        if entry["name"] != "client.rpc_ns":
+            continue
+        op = entry["labels"]["op"]
+        merged = per_op.get(op)
+        if merged is None:
+            per_op[op] = dict(entry)
+        else:
+            # Fold the per-peer series into one per-opcode row; the
+            # percentile columns come from the slowest peer (the tail
+            # the operator actually cares about).
+            merged["count"] += entry["count"]
+            merged["sum"] += entry["sum"]
+            merged["max"] = max(merged["max"], entry["max"])
+            for quantile in ("p50", "p95", "p99"):
+                merged[quantile] = max(merged[quantile], entry[quantile])
+    record = {
+        "bench": "net_rpc_histogram",
+        "peers": STORM_PEERS,
+        "file_bytes": args.file_bytes,
+        "operations": run["operations"],
+        "ops_per_second": run["ops_per_second"],
+        "rpc_us": {
+            op: {
+                "count": entry["count"],
+                "p50": round(entry["p50"] / 1e3, 1),
+                "p95": round(entry["p95"] / 1e3, 1),
+                "p99": round(entry["p99"] / 1e3, 1),
+                "max": round(entry["max"] / 1e3, 1),
+            }
+            for op, entry in sorted(per_op.items())
+        },
+    }
+    emit("NET-HISTOGRAM " + json.dumps(record, sort_keys=True))
+    rows = [
+        [op, f"{entry['count']}", _microseconds(entry["p50"]),
+         _microseconds(entry["p95"]), _microseconds(entry["p99"]),
+         _microseconds(entry["max"])]
+        for op, entry in sorted(per_op.items())
+    ]
+    emit(f"\nRPC latency, {args.ops} ops of {args.file_bytes} byte pieces "
+         f"over {STORM_PEERS} peers (localhost TCP, pooled)")
+    emit(render_table(["opcode", "count", "p50 us", "p95 us", "p99 us",
+                       "max us"], rows))
+    if args.json is not None:
+        args.json.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+        emit(f"wrote {args.json}")
+
+
+def run_obs_compare(args) -> None:
+    """The same storm with metrics off and on; fail when instrumentation
+    eats more than the allowed share of throughput."""
+    import tempfile
+
+    with tempfile.TemporaryDirectory(prefix="bench_net_obs_") as scratch:
+        scratch = Path(scratch)
+        _run_storm(scratch / "warmup", pool_size=args.pool_size, ops=10,
+                   file_bytes=args.file_bytes, obs_enabled=False)
+        off = on = None
+        for number in range(args.rounds):
+            candidate = _run_storm(
+                scratch / f"off{number}", pool_size=args.pool_size,
+                ops=args.ops, file_bytes=args.file_bytes, obs_enabled=False,
+            )
+            if off is None or candidate["seconds"] < off["seconds"]:
+                off = candidate
+            candidate = _run_storm(
+                scratch / f"on{number}", pool_size=args.pool_size,
+                ops=args.ops, file_bytes=args.file_bytes, obs_enabled=True,
+            )
+            if on is None or candidate["seconds"] < on["seconds"]:
+                on = candidate
+
+    ratio = on["ops_per_second"] / off["ops_per_second"]
+    record = {
+        "bench": "net_obs_overhead",
+        "peers": STORM_PEERS,
+        "file_bytes": args.file_bytes,
+        "operations": args.ops,
+        "obs_off": off,
+        "obs_on": on,
+        "ratio": round(ratio, 3),
+        "threshold": args.obs_threshold,
+    }
+    emit("NET-OBS-OVERHEAD " + json.dumps(record, sort_keys=True))
+    rows = [
+        [mode, f"{run['ops_per_second']:.1f}", f"{run['seconds'] * 1e3:.0f}"]
+        for mode, run in (("obs off", off), ("obs on", on))
+    ]
+    emit(f"\nObs overhead, {args.ops} ops of {args.file_bytes} byte pieces "
+         f"(localhost TCP, pooled)")
+    emit(render_table(["mode", "ops/s", "ms"], rows))
+    emit(f"on/off throughput ratio: {ratio:.3f} "
+         f"(threshold {args.obs_threshold})")
+    if args.json is not None:
+        args.json.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+        emit(f"wrote {args.json}")
+    if ratio < args.obs_threshold:
+        raise SystemExit(
+            f"obs overhead too high: on/off ratio {ratio:.3f} < "
+            f"{args.obs_threshold}"
+        )
+
+
 def main(argv=None) -> None:
     parser = argparse.ArgumentParser(
         description="Pooled vs fresh-connection ops/s on a small-piece storm"
@@ -224,7 +376,19 @@ def main(argv=None) -> None:
     parser.add_argument("--file-bytes", type=int, default=STORM_FILE_BYTES)
     parser.add_argument("--rounds", type=int, default=3,
                         help="rounds per mode; the fastest one is reported")
+    parser.add_argument("--histogram", action="store_true",
+                        help="report per-opcode RPC latency percentiles "
+                             "instead of the pooling comparison")
+    parser.add_argument("--obs-compare", action="store_true",
+                        help="compare throughput with metrics off vs on; "
+                             "exit nonzero past --obs-threshold")
+    parser.add_argument("--obs-threshold", type=float, default=0.9,
+                        help="minimum acceptable on/off throughput ratio")
     args = parser.parse_args(argv)
+    if args.histogram:
+        return run_histogram(args)
+    if args.obs_compare:
+        return run_obs_compare(args)
 
     import tempfile
 

@@ -10,8 +10,9 @@ Subcommands mirror the paper's life cycle, on disk and over the wire:
                   pieces/piece_*.rgc
 
     repro serve   --root /var/backup/peer0 --port 9470
+    repro stats   host1:9470
     repro net put FILE --peers host1:9470,host2:9470 -k 8 -H 8 -d 10 -i 1 \
-                  --manifest file.netmanifest.json
+                  --manifest file.netmanifest.json --stats-json put-stats.json
     repro net repair --manifest file.netmanifest.json --lost 3 \
                   --newcomer host3:9470
     repro net get --manifest file.netmanifest.json --out restored.bin
@@ -374,6 +375,32 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_stats(args: argparse.Namespace) -> int:
+    """Fetch one daemon's metrics snapshot over GET_STATS and print it."""
+    import asyncio
+
+    from repro.net.client import PeerClient
+    from repro.net.errors import NetError
+
+    peer = _parse_peer(args.peer)
+
+    async def fetch() -> dict:
+        client = PeerClient(
+            peer.host, peer.port, connect_timeout=args.connect_timeout
+        )
+        try:
+            return await client.get_stats()
+        finally:
+            await client.aclose()
+
+    try:
+        snapshot = asyncio.run(fetch())
+    except NetError as exc:
+        raise CLIError(f"cannot fetch stats from {peer}: {exc}") from None
+    print(json.dumps(snapshot, indent=2, sort_keys=True))
+    return 0
+
+
 def _run_net_op(coordinator, coro):
     """Run one coordinator operation, closing pooled connections after."""
     import asyncio
@@ -411,6 +438,13 @@ def cmd_net_put(args: argparse.Namespace) -> int:
     except NetError as exc:
         raise CLIError(f"insertion failed: {exc}") from None
     stats.manifest.save(args.manifest)
+    if args.stats_json:
+        # The registry outlives the pools _run_net_op closed, so the
+        # snapshot still carries the insert's spans and RPC histograms.
+        pathlib.Path(args.stats_json).write_text(
+            json.dumps(coordinator.metrics_snapshot(), indent=2, sort_keys=True)
+        )
+        print(f"metrics snapshot -> {args.stats_json}")
     print(
         f"inserted {source} ({len(data)} bytes) as '{file_id}': "
         f"{len(stats.manifest.pieces)} pieces on {stats.peers_used} peers, "
@@ -763,6 +797,13 @@ def build_parser() -> argparse.ArgumentParser:
                             "data only; see docs/NET.md)")
     serve.set_defaults(handler=cmd_serve)
 
+    stats = subparsers.add_parser(
+        "stats", help="print a peer daemon's metrics snapshot (JSON)"
+    )
+    stats.add_argument("peer", help="host:port of the daemon to query")
+    stats.add_argument("--connect-timeout", type=float, default=5.0)
+    stats.set_defaults(handler=cmd_stats)
+
     net = subparsers.add_parser(
         "net", help="run the life cycle against live peer daemons"
     )
@@ -786,6 +827,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="persistent connections kept per peer "
                               "(0 = fresh connection per request; default "
                               "from REPRO_NET_POOL_SIZE or 4)")
+    net_put.add_argument("--stats-json", default=None,
+                         help="write the coordinator's metrics snapshot "
+                              "(repro-obs-snapshot-v1 JSON) here after the "
+                              "insert")
     net_put.set_defaults(handler=cmd_net_put)
 
     net_repair = net_sub.add_parser("repair", help="regenerate a lost piece")

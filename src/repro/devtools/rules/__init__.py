@@ -7,7 +7,9 @@ Three families, mirroring where this project's bugs actually live:
 - **RL2xx** GF(2^q) domain (plain arithmetic on field elements, raw
   arrays into field kernels);
 - **RL3xx** wire protocol (opcode/dispatch/client drift, duplicated
-  wire-format constants).
+  wire-format constants);
+- **RL4xx** observability (wall-clock latency arithmetic, metric names
+  outside the registry scheme).
 """
 
 from __future__ import annotations
@@ -20,6 +22,7 @@ from repro.devtools.rules.asyncio_rules import (
 )
 from repro.devtools.rules.base import ProjectRule, Rule
 from repro.devtools.rules.gf_rules import PlainArithmeticOnGFRule, RawArrayIntoGFRule
+from repro.devtools.rules.obs_rules import MetricNameRule, WallClockLatencyRule
 from repro.devtools.rules.protocol_rules import ProtocolDriftRule, WireConstantRule
 
 __all__ = ["Rule", "ProjectRule", "ALL_RULES", "RULE_CODES", "rule_table"]
@@ -34,6 +37,8 @@ ALL_RULES: tuple[Rule, ...] = (
     RawArrayIntoGFRule(),
     ProtocolDriftRule(),
     WireConstantRule(),
+    WallClockLatencyRule(),
+    MetricNameRule(),
 )
 
 

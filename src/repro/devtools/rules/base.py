@@ -14,6 +14,8 @@ __all__ = [
     "call_name",
     "enclosing_functions",
     "iter_with_async_context",
+    "iter_scopes",
+    "iter_scope_nodes",
 ]
 
 
@@ -93,6 +95,40 @@ def enclosing_functions(tree: ast.AST):
             yield node, True
         elif isinstance(node, ast.FunctionDef):
             yield node, False
+
+
+def iter_scopes(tree: ast.AST):
+    """Module scope plus each function scope, nested functions excluded
+    from their parent so taint does not leak across scopes."""
+    functions = [
+        node
+        for node in ast.walk(tree)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    ]
+    yield tree
+    yield from functions
+
+
+def iter_scope_nodes(scope: ast.AST):
+    """Walk one scope without descending into nested function bodies."""
+
+    def visit(node: ast.AST):
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)) and (
+                child is not node
+            ):
+                continue
+            yield from visit(child)
+
+    if isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        for stmt in scope.body:
+            yield from visit(stmt)
+    else:
+        for stmt in getattr(scope, "body", []):
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue
+            yield from visit(stmt)
 
 
 def iter_with_async_context(tree: ast.AST):

@@ -15,7 +15,12 @@ import ast
 from typing import Iterator
 
 from repro.devtools.findings import Finding
-from repro.devtools.rules.base import Rule, terminal_name
+from repro.devtools.rules.base import (
+    Rule,
+    iter_scope_nodes as _scope_nodes,
+    iter_scopes as _scopes,
+    terminal_name,
+)
 from repro.devtools.tables import (
     GF_CONSUMER_METHODS,
     GF_FIELD_VALUE_METHODS,
@@ -71,40 +76,6 @@ def _gf_consumer_name(call: ast.Call) -> str | None:
     if isinstance(func, ast.Name) and func.id in GF_LINALG_FUNCTIONS:
         return func.id
     return None
-
-
-def _scopes(tree: ast.AST):
-    """Module scope plus each function scope, nested functions excluded
-    from their parent so taint does not leak across scopes."""
-    functions = [
-        node
-        for node in ast.walk(tree)
-        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
-    ]
-    yield tree
-    yield from functions
-
-
-def _scope_nodes(scope: ast.AST):
-    """Walk one scope without descending into nested function bodies."""
-
-    def visit(node: ast.AST):
-        yield node
-        for child in ast.iter_child_nodes(node):
-            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)) and (
-                child is not node
-            ):
-                continue
-            yield from visit(child)
-
-    if isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
-        for stmt in scope.body:
-            yield from visit(stmt)
-    else:
-        for stmt in getattr(scope, "body", []):
-            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
-                continue
-            yield from visit(stmt)
 
 
 class PlainArithmeticOnGFRule(Rule):

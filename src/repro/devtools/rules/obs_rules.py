@@ -1,0 +1,172 @@
+"""RL4xx: observability rules.
+
+The obs layer only stays trustworthy if every producer plays by two
+rules: durations come from the monotonic high-resolution clock
+(``repro.obs.now_ns``, backed by ``perf_counter_ns``), and metric names
+follow the ``domain.noun_verb`` scheme the registry validates at
+runtime.  These rules move both failures from "first scrape of a
+production snapshot" to "lint in CI":
+
+- **RL401** flags latency arithmetic on ``time.time()`` /
+  ``time.monotonic()`` values.  Wall-clock differences jump under NTP
+  steps, and float seconds lose nanosecond resolution exactly where
+  handler latencies live; ``now_ns()`` has neither problem.
+- **RL402** checks every *literal* metric name handed to
+  ``counter()``/``gauge()``/``histogram()`` on a registry-shaped
+  receiver against the runtime's own regex and domain table, so a typo
+  fails review instead of raising at first request served.  Dynamic
+  names (the span layer builds ``"span." + path``) are left to the
+  runtime check.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.findings import Finding
+from repro.devtools.rules.base import (
+    Rule,
+    iter_scope_nodes,
+    iter_scopes,
+    terminal_name,
+)
+from repro.devtools.tables import (
+    OBS_INSTRUMENT_METHODS,
+    OBS_METRIC_DOMAINS,
+    OBS_METRIC_NAME_RE,
+    OBS_REGISTRY_RECEIVERS,
+    WALL_CLOCK_FUNCTIONS,
+)
+
+__all__ = ["WallClockLatencyRule", "MetricNameRule"]
+
+
+def _is_wall_clock_call(node: ast.AST) -> str | None:
+    """``time.time()`` / ``time.monotonic()`` -> the attribute name."""
+    if not isinstance(node, ast.Call):
+        return None
+    func = node.func
+    if (
+        isinstance(func, ast.Attribute)
+        and func.attr in WALL_CLOCK_FUNCTIONS
+        and terminal_name(func.value) == "time"
+    ):
+        return func.attr
+    return None
+
+
+class WallClockLatencyRule(Rule):
+    """RL401: a latency computed by subtracting wall-clock timestamps.
+
+    The taint is scope-local, like RL201: a name assigned from
+    ``time.time()``/``time.monotonic()`` used on either side of ``-``
+    (or ``-=``), or a direct wall-clock call inside the subtraction.
+    Plain timestamping (logging an epoch second, scheduling) never
+    subtracts and stays legal.
+    """
+
+    code = "RL401"
+    name = "wall-clock-latency"
+    description = (
+        "latency computed from time.time()/time.monotonic(); "
+        "use repro.obs.now_ns (perf_counter_ns)"
+    )
+    roles = frozenset({"src"})
+
+    def check(self, ctx) -> Iterator[Finding]:
+        for scope in iter_scopes(ctx.tree):
+            tainted: set[str] = set()
+            for node in iter_scope_nodes(scope):
+                if isinstance(node, ast.Assign):
+                    if _is_wall_clock_call(node.value) is not None:
+                        for target in node.targets:
+                            if isinstance(target, ast.Name):
+                                tainted.add(target.id)
+                    else:
+                        for target in node.targets:
+                            if isinstance(target, ast.Name):
+                                tainted.discard(target.id)
+
+            def taints(node: ast.AST) -> bool:
+                if isinstance(node, ast.Name) and node.id in tainted:
+                    return True
+                return _is_wall_clock_call(node) is not None
+
+            for node in iter_scope_nodes(scope):
+                if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Sub):
+                    if taints(node.left) or taints(node.right):
+                        yield self.finding(
+                            ctx,
+                            node,
+                            "wall-clock subtraction measures a latency with "
+                            "time.time()/time.monotonic(); use "
+                            "repro.obs.now_ns() so durations are monotonic "
+                            "nanoseconds",
+                        )
+                elif isinstance(node, ast.AugAssign) and isinstance(node.op, ast.Sub):
+                    if taints(node.target) or taints(node.value):
+                        yield self.finding(
+                            ctx,
+                            node,
+                            "wall-clock `-=` measures a latency with "
+                            "time.time()/time.monotonic(); use "
+                            "repro.obs.now_ns() so durations are monotonic "
+                            "nanoseconds",
+                        )
+
+
+class MetricNameRule(Rule):
+    """RL402: a literal metric name outside the registry naming scheme.
+
+    Checks ``<receiver>.counter/gauge/histogram("name", ...)`` where the
+    receiver's terminal name marks it as a registry (``obs``,
+    ``registry``, ``metrics``).  The name must match the runtime regex
+    and start with a registered domain -- the same checks
+    ``MetricsRegistry`` applies, but at lint time and over dead code
+    paths too.
+    """
+
+    code = "RL402"
+    name = "metric-name-scheme"
+    description = (
+        "metric name does not follow the registered domain.noun_verb scheme"
+    )
+    roles = frozenset({"src"})
+
+    def check(self, ctx) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (
+                isinstance(func, ast.Attribute)
+                and func.attr in OBS_INSTRUMENT_METHODS
+                and terminal_name(func.value) in OBS_REGISTRY_RECEIVERS
+            ):
+                continue
+            if not node.args:
+                continue
+            first = node.args[0]
+            if not (isinstance(first, ast.Constant) and isinstance(first.value, str)):
+                continue  # dynamic names are validated at runtime
+            name = first.value
+            if OBS_METRIC_NAME_RE.match(name) is None:
+                yield self.finding(
+                    ctx,
+                    first,
+                    f"metric name {name!r} does not match the "
+                    f"`domain.noun_verb` scheme "
+                    f"(regex {OBS_METRIC_NAME_RE.pattern!r})",
+                )
+                continue
+            domain = name.split(".", 1)[0]
+            if domain not in OBS_METRIC_DOMAINS:
+                known = ", ".join(sorted(OBS_METRIC_DOMAINS))
+                yield self.finding(
+                    ctx,
+                    first,
+                    f"metric name {name!r} uses unregistered domain "
+                    f"{domain!r} (known: {known}); add it to "
+                    f"repro.obs.registry.METRIC_DOMAINS or fix the name",
+                )

@@ -9,6 +9,8 @@ set; the rules themselves never change.
 
 from __future__ import annotations
 
+from repro.obs.registry import METRIC_DOMAINS, METRIC_NAME_RE
+
 __all__ = [
     "ASYNC_MODULE_FUNCTIONS",
     "ASYNCIO_COROUTINE_FUNCTIONS",
@@ -22,11 +24,18 @@ __all__ = [
     "NUMPY_CONSTRUCTORS",
     "WIRE_MAGIC_LITERALS",
     "WIRE_SIZE_LITERALS",
+    "OBS_METRIC_DOMAINS",
+    "OBS_METRIC_NAME_RE",
+    "OBS_REGISTRY_RECEIVERS",
+    "OBS_INSTRUMENT_METHODS",
+    "WALL_CLOCK_FUNCTIONS",
 ]
 
 #: Module-level coroutine functions of :mod:`repro.net.protocol`; calling
 #: one anywhere without ``await`` is always a bug (RL101).
-ASYNC_MODULE_FUNCTIONS = frozenset({"read_message", "write_message"})
+ASYNC_MODULE_FUNCTIONS = frozenset(
+    {"read_message", "read_message_sized", "write_message"}
+)
 
 #: ``asyncio.<name>`` calls that return a coroutine/awaitable; discarding
 #: one is always a bug (RL101).
@@ -57,6 +66,7 @@ ASYNC_METHODS = frozenset(
         "get_piece",
         "get_coefficients",
         "get_rows",
+        "get_stats",
         "repair_read",
         "request",
         "aclose",
@@ -93,6 +103,7 @@ TASK_SPAWN_NAMES = frozenset({"create_task", "ensure_future"})
 NETWORK_AWAIT_NAMES = frozenset(
     {
         "read_message",
+        "read_message_sized",
         "write_message",
         "open_connection",
         "drain",
@@ -105,6 +116,7 @@ NETWORK_AWAIT_NAMES = frozenset(
         "get_piece",
         "get_coefficients",
         "get_rows",
+        "get_stats",
         "repair_read",
         "_converse",
         "_request_once",
@@ -206,3 +218,22 @@ WIRE_SIZE_LITERALS = {
 #: Files that *define* the wire-format constants and are therefore
 #: allowed to spell them as literals.
 WIRE_SOURCE_FILES = frozenset({"protocol.py", "serialization.py"})
+
+#: The metric naming scheme (RL402) is owned by :mod:`repro.obs.registry`
+#: -- the runtime validates every name against the same regex and domain
+#: set, so the linter re-exports rather than duplicates them.
+OBS_METRIC_DOMAINS = METRIC_DOMAINS
+OBS_METRIC_NAME_RE = METRIC_NAME_RE
+
+#: Receiver names that identify an expression as a metrics registry
+#: (``self.obs.counter(...)``, ``registry.histogram(...)``); RL402 checks
+#: the literal metric name at such call sites.
+OBS_REGISTRY_RECEIVERS = frozenset({"obs", "registry", "metrics"})
+
+#: The registry's instrument factories RL402 inspects.
+OBS_INSTRUMENT_METHODS = frozenset({"counter", "gauge", "histogram"})
+
+#: ``time.<name>()`` calls whose difference is a wall-clock latency --
+#: subject to NTP steps and smearing; RL401 wants
+#: :func:`repro.obs.now_ns` (``perf_counter_ns``) for durations.
+WALL_CLOCK_FUNCTIONS = frozenset({"time", "monotonic"})

@@ -33,6 +33,7 @@ import pathlib
 import tempfile
 
 from repro.codes.integrity import BlockCorruptionError, digest_bytes
+from repro.obs import MetricsRegistry, now_ns
 
 __all__ = ["BlockStore", "BlockCorruptionError"]
 
@@ -44,11 +45,23 @@ class BlockStore:
     docstring for exactly what is given up) -- meant for tests and
     :class:`~repro.net.cluster.LocalCluster` runs where the data is
     disposable and the syscalls dominate small-piece throughput.
+
+    ``registry`` hooks the store into :mod:`repro.obs` (bytes
+    read/written counters, fsync-time histogram).  Left ``None``, the
+    owning :class:`~repro.net.server.PeerDaemon` attaches its own
+    registry so store metrics ride in the daemon's STATS snapshot; a
+    store that never meets a daemon simply records nothing.
     """
 
-    def __init__(self, root: str | os.PathLike, fsync: bool = True):
+    def __init__(
+        self,
+        root: str | os.PathLike,
+        fsync: bool = True,
+        registry: MetricsRegistry | None = None,
+    ):
         self.root = pathlib.Path(root)
         self.fsync = fsync
+        self.obs = registry
         self._objects = self.root / "objects"
         self._refs = self.root / "refs"
         self._objects.mkdir(parents=True, exist_ok=True)
@@ -76,7 +89,7 @@ class BlockStore:
                     # publishes the name, or power loss can leave the
                     # final path pointing at garbage.
                     handle.flush()
-                    os.fsync(handle.fileno())
+                    self._fsync_timed(handle.fileno())
             os.replace(tmp, path)
             if self.fsync:
                 self._fsync_dir(path.parent)
@@ -87,14 +100,22 @@ class BlockStore:
                 pass
             raise
 
-    @staticmethod
-    def _fsync_dir(directory: pathlib.Path) -> None:
+    def _fsync_dir(self, directory: pathlib.Path) -> None:
         """Persist a rename: fsync the directory holding the new entry."""
         fd = os.open(directory, os.O_RDONLY | getattr(os, "O_DIRECTORY", 0))
         try:
-            os.fsync(fd)
+            self._fsync_timed(fd)
         finally:
             os.close(fd)
+
+    def _fsync_timed(self, fd: int) -> None:
+        """fsync with the stall recorded (it dominates small-piece writes)."""
+        if self.obs is None or not self.obs.enabled:
+            os.fsync(fd)
+            return
+        start = now_ns()
+        os.fsync(fd)
+        self.obs.histogram("store.fsync_ns").observe(now_ns() - start)
 
     # ------------------------------------------------------------------
     # store operations
@@ -112,6 +133,8 @@ class BlockStore:
             self._write_atomic(object_path, blob)
         ref = json.dumps({"key": key, "digest": digest}).encode("utf-8")
         self._write_atomic(self._ref_path(key), ref)
+        if self.obs is not None:
+            self.obs.counter("store.bytes_written_total").inc(len(blob))
         return digest
 
     def get(self, key: str) -> bytes:
@@ -136,6 +159,8 @@ class BlockStore:
                 f"object for key {key!r} fails its SHA-256 check "
                 f"(expected {digest[:12]}...)"
             )
+        if self.obs is not None:
+            self.obs.counter("store.bytes_read_total").inc(len(blob))
         return blob
 
     def digest(self, key: str) -> str:

@@ -52,18 +52,21 @@ from repro.net.protocol import (
     FragmentData,
     GetPiece,
     GetRows,
+    GetStats,
     Message,
     Ok,
     PieceData,
     Ping,
     RepairRead,
     Rows,
+    StatsData,
     StorePiece,
     encode_message,
     operation_name,
     read_message,
     write_message,
 )
+from repro.obs import SNAPSHOT_FORMAT, MetricsRegistry, now_ns
 
 __all__ = ["PeerClient", "RetryPolicy", "DEFAULT_POOL_SIZE", "default_pool_size"]
 
@@ -139,6 +142,7 @@ class PeerClient:
         fault_scope: str | None = None,
         pool_size: int | None = None,
         pool_idle_timeout: float = 30.0,
+        registry: MetricsRegistry | None = None,
     ):
         self.host = host
         self.port = port
@@ -159,6 +163,19 @@ class PeerClient:
         # client outlives an ``asyncio.run`` and is reused on a new loop.
         self._pool: ConnectionPool | None = None
         self._pool_loop: asyncio.AbstractEventLoop | None = None
+        # opened/reused totals carried over from pools this client has
+        # already retired (loop switch, aclose): counters must survive
+        # the pool object they were accumulated on.
+        self._retired_opened = 0
+        self._retired_reused = 0
+        #: Coordinator-shared or per-client obs registry (``REPRO_OBS``).
+        self.obs = registry if registry is not None else MetricsRegistry()
+        peer = f"{host}:{port}"
+        self._m_failures = self.obs.counter("client.failures_total", peer=peer)
+        self._m_reconnects = self.obs.counter("client.reconnects_total", peer=peer)
+        # Per-opcode (requests counter, rpc-latency histogram), cached by
+        # message type so the request hot path never rebuilds label keys.
+        self._op_instruments: dict[str, tuple] = {}
 
     @property
     def address(self) -> tuple[str, int]:
@@ -168,6 +185,25 @@ class PeerClient:
     def pool(self) -> ConnectionPool | None:
         """The live connection pool (``None`` before the first request)."""
         return self._pool
+
+    @property
+    def connections_opened(self) -> int:
+        """Fresh connects over this client's lifetime, across every pool
+        it has owned (the live pool's counter alone resets whenever the
+        pool is rebuilt for a new event loop or closed)."""
+        live = self._pool.opened if self._pool is not None else 0
+        return self._retired_opened + live
+
+    @property
+    def connections_reused(self) -> int:
+        """Idle-stream checkouts over this client's lifetime (see
+        :attr:`connections_opened` for why this outlives the pool)."""
+        live = self._pool.reused if self._pool is not None else 0
+        return self._retired_reused + live
+
+    def _retire_pool(self, pool: ConnectionPool) -> None:
+        self._retired_opened += pool.opened
+        self._retired_reused += pool.reused
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"PeerClient({self.host}:{self.port}, pool_size={self.pool_size})"
@@ -180,6 +216,9 @@ class PeerClient:
         loop = asyncio.get_running_loop()
         if self._pool is None or self._pool_loop is not loop:
             if self._pool is not None:
+                # Bank the old pool's counters before replacing it, or a
+                # loop switch silently zeroes opened/reused.
+                self._retire_pool(self._pool)
                 self._pool.abandon()
             self._pool = ConnectionPool(
                 self.host,
@@ -187,6 +226,7 @@ class PeerClient:
                 self.pool_size,
                 connect_timeout=self.connect_timeout,
                 idle_timeout=self.pool_idle_timeout,
+                registry=self.obs,
             )
             self._pool_loop = loop
         return self._pool
@@ -242,6 +282,7 @@ class PeerClient:
                 ) and not isinstance(exc, asyncio.TimeoutError)
                 if attempt == 0 and reused and event is None and stale_stream:
                     self.pool_reconnects += 1
+                    self._m_reconnects.inc()
                     continue
                 raise
             # A stream that carried a deliberately mangled frame is out
@@ -254,8 +295,26 @@ class PeerClient:
             return response
         raise AssertionError("unreachable")  # pragma: no cover
 
+    def _instruments(self, message: Message) -> tuple:
+        """The per-opcode (requests counter, rpc histogram) pair."""
+        key = type(message).__name__
+        cached = self._op_instruments.get(key)
+        if cached is None:
+            op = operation_name(message)
+            peer = f"{self.host}:{self.port}"
+            cached = self._op_instruments[key] = (
+                self.obs.counter("client.requests_total", peer=peer, op=op),
+                self.obs.histogram("client.rpc_ns", peer=peer, op=op),
+            )
+        return cached
+
     async def request(self, message: Message) -> Message:
-        """Send one request, retrying transport failures with backoff."""
+        """Send one request, retrying transport failures with backoff.
+
+        The recorded RPC latency (``client.rpc_ns``) is what the caller
+        perceived: retries and their backoff sleeps included.
+        """
+        start = now_ns() if self.obs.enabled else 0
         last: Exception | None = None
         for attempt in range(self.retry.retries + 1):
             try:
@@ -266,10 +325,15 @@ class PeerClient:
                 asyncio.IncompleteReadError,
             ) as exc:
                 self.transport_failures += 1
+                self._m_failures.inc()
                 last = exc
                 if attempt < self.retry.retries:
                     await asyncio.sleep(self.retry.delay(attempt))
                 continue
+            counter, histogram = self._instruments(message)
+            counter.inc()
+            if start:
+                histogram.observe(now_ns() - start)
             if isinstance(response, Error):
                 raise RemoteError(response.code, response.message)
             return response
@@ -285,6 +349,7 @@ class PeerClient:
         self._pool_loop = None
         if pool is None:
             return
+        self._retire_pool(pool)
         if asyncio.get_running_loop() is loop:
             await pool.aclose()
         else:
@@ -344,3 +409,18 @@ class PeerClient:
         """Ask the peer for one helper-side coded fragment (fig. 2a)."""
         response = await self._expect(RepairRead(key=key), FragmentData)
         return response.blob
+
+    async def get_stats(self) -> dict:
+        """Fetch the peer daemon's metrics snapshot (STATS opcode).
+
+        Validates the payload's self-declared version; a daemon speaking
+        a different snapshot schema raises :class:`ProtocolError`.
+        """
+        response = await self._expect(GetStats(), StatsData)
+        snapshot = response.to_snapshot()
+        if snapshot.get("format") != SNAPSHOT_FORMAT:
+            raise ProtocolError(
+                f"peer sent snapshot format {snapshot.get('format')!r}, "
+                f"expected {SNAPSHOT_FORMAT!r}"
+            )
+        return snapshot

@@ -55,6 +55,7 @@ from repro.net.errors import (
     RemoteError,
 )
 from repro.net.faults import FaultPlan
+from repro.obs import MetricsRegistry
 
 #: A peer answered, but what it said is unusable: a typed ERROR reply, a
 #: response that does not parse, or a payload failing its integrity
@@ -237,6 +238,7 @@ class Coordinator:
         retry: RetryPolicy | None = None,
         fault_plan: FaultPlan | None = None,
         pool_size: int | None = None,
+        registry: MetricsRegistry | None = None,
     ):
         self.code = RandomLinearRegeneratingCode(
             params, field=field if field is not None else GF(16), rng=rng
@@ -250,7 +252,20 @@ class Coordinator:
         #: Streams each cached client keeps pooled (``None``: the
         #: client's own default; ``0``: fresh connection per request).
         self.pool_size = pool_size
+        #: The obs registry every client (and its pool) shares with this
+        #: coordinator, so :meth:`metrics_snapshot` covers the whole
+        #: client-side stack.  Defaults to a fresh registry honouring
+        #: the ``REPRO_OBS`` switch.
+        self.obs = registry if registry is not None else MetricsRegistry()
         self._clients: dict[PeerAddress, PeerClient] = {}
+        # transport_stats() totals from clients already dropped by
+        # aclose(): the counters must survive pool teardown.
+        self._closed_transport_totals = {
+            "connections_opened": 0,
+            "connections_reused": 0,
+            "pool_reconnects": 0,
+            "transport_failures": 0,
+        }
 
     @classmethod
     def from_manifest(
@@ -286,15 +301,26 @@ class Coordinator:
                 retry=self.retry,
                 fault_plan=self.fault_plan,
                 pool_size=self.pool_size,
+                registry=self.obs,
             )
             self._clients[location] = client
         return client
 
     async def aclose(self) -> None:
-        """Close every cached client's pooled connections."""
+        """Close every cached client's pooled connections.
+
+        The clients' transport counters are folded into a persistent
+        snapshot first, so :meth:`transport_stats` keeps reporting the
+        work done before teardown.
+        """
         clients, self._clients = list(self._clients.values()), {}
+        totals = self._closed_transport_totals
         for client in clients:
             await client.aclose()
+            totals["connections_opened"] += client.connections_opened
+            totals["connections_reused"] += client.connections_reused
+            totals["pool_reconnects"] += client.pool_reconnects
+            totals["transport_failures"] += client.transport_failures
 
     async def __aenter__(self) -> "Coordinator":
         return self
@@ -303,20 +329,43 @@ class Coordinator:
         await self.aclose()
 
     def transport_stats(self) -> dict[str, int]:
-        """Aggregate connection counters over every cached client."""
-        totals = {
-            "connections_opened": 0,
-            "connections_reused": 0,
-            "pool_reconnects": 0,
-            "transport_failures": 0,
-        }
+        """Aggregate connection counters over this coordinator's lifetime.
+
+        Kept as a thin legacy shim: the same four counters (and much
+        more, per peer and per opcode) live in :meth:`metrics_snapshot`.
+        Live clients and clients already torn down by :meth:`aclose`
+        both count, so the totals survive pool teardown.
+        """
+        totals = dict(self._closed_transport_totals)
         for client in self._clients.values():
             totals["pool_reconnects"] += client.pool_reconnects
             totals["transport_failures"] += client.transport_failures
-            if client.pool is not None:
-                totals["connections_opened"] += client.pool.opened
-                totals["connections_reused"] += client.pool.reused
+            totals["connections_opened"] += client.connections_opened
+            totals["connections_reused"] += client.connections_reused
         return totals
+
+    def metrics_snapshot(self) -> dict:
+        """The coordinator-side registry as ``repro-obs-snapshot-v1``.
+
+        Covers every instrument recorded by this coordinator and the
+        clients/pools it opened: per-op-class latency histograms with
+        p50/p95/p99 (``coordinator.op_ns``), span phase timings
+        (``span.*``), per-peer RPC latencies and failure counters, and
+        placement/substitution counts.
+        """
+        return self.obs.snapshot()
+
+    # ------------------------------------------------------------------
+    # span / metric helpers
+    # ------------------------------------------------------------------
+
+    def _observe_op(self, op: str, span) -> None:
+        self.obs.histogram("coordinator.op_ns", op=op).observe(span.duration_ns)
+
+    def _count_error(self, op: str, exc: Exception) -> None:
+        self.obs.counter(
+            "coordinator.errors_total", op=op, error=type(exc).__name__
+        ).inc()
 
     # ------------------------------------------------------------------
     # insertion
@@ -333,12 +382,28 @@ class Coordinator:
         partial placement attached for cleanup -- when any piece cannot
         be placed anywhere.
         """
+        span = self.obs.span("insert")
+        try:
+            with span:
+                stats = await self._insert(span, data, peers, file_id)
+        except NetError as exc:
+            self._count_error("insert", exc)
+            raise
+        self._observe_op("insert", span)
+        return stats
+
+    async def _insert(
+        self, span, data: bytes, peers: list[PeerAddress], file_id: str
+    ) -> InsertStats:
         if not peers:
             raise InsufficientPeersError("insertion needs at least one peer")
         # Encoding a large file is CPU-heavy GF matmul work; run it off the
         # event loop so the daemon keeps serving while the kernel fans out
-        # across REPRO_GF_WORKERS threads.
-        encoded = await asyncio.to_thread(self.code.insert, data)
+        # across REPRO_GF_WORKERS threads.  The encode child span is the
+        # CPU half of the paper's Table-1 split; the place/store_rpc spans
+        # are the transfer half.
+        with span.child("encode"):
+            encoded = await asyncio.to_thread(self.code.insert, data)
         manifest = NetManifest(
             file_id=file_id,
             k=self.params.k,
@@ -357,9 +422,10 @@ class Coordinator:
                 if location in dead:
                     continue
                 try:
-                    await self.client(location).store_piece(
-                        manifest.key(piece.index), blob
-                    )
+                    with span.child("store_rpc"):
+                        await self.client(location).store_piece(
+                            manifest.key(piece.index), blob
+                        )
                     return piece.index, location, len(blob)
                 except PeerUnavailableError:
                     dead.add(location)
@@ -370,9 +436,10 @@ class Coordinator:
                     continue
             return None  # homeless: reported collectively below
 
-        placements = await asyncio.gather(
-            *(place(piece) for piece in encoded.pieces)
-        )
+        with span.child("place"):
+            placements = await asyncio.gather(
+                *(place(piece) for piece in encoded.pieces)
+            )
         uploaded = 0
         unplaced = []
         for piece, placement in zip(encoded.pieces, placements):
@@ -394,6 +461,7 @@ class Coordinator:
                 unplaced=unplaced,
             )
         used = {location for location in manifest.pieces.values()}
+        self.obs.counter("coordinator.pieces_placed_total").inc(len(manifest.pieces))
         return InsertStats(
             manifest=manifest,
             bytes_uploaded=uploaded,
@@ -420,6 +488,23 @@ class Coordinator:
         -- the durability boundary of the code.  Updates ``manifest`` in
         place on success.
         """
+        span = self.obs.span("repair")
+        try:
+            with span:
+                stats = await self._repair(span, manifest, lost_index, newcomer)
+        except NetError as exc:
+            self._count_error("repair", exc)
+            raise
+        self._observe_op("repair", span)
+        return stats
+
+    async def _repair(
+        self,
+        span,
+        manifest: NetManifest,
+        lost_index: int,
+        newcomer: PeerAddress,
+    ) -> RepairStats:
         d = self.params.d
         candidates = [
             (index, location)
@@ -433,7 +518,10 @@ class Coordinator:
             )
 
         async def contribute(index: int, location: PeerAddress):
-            blob = await self.client(location).repair_read(manifest.key(index))
+            # One helper contact: the RPC that asks a participant for its
+            # server-side combination (or discovers the helper is gone).
+            with span.child("probe"):
+                blob = await self.client(location).repair_read(manifest.key(index))
             # Parse here so a fragment mangled on the wire (CRC failure,
             # cut frame reassembled wrong) fails *this* helper and gets
             # substituted, instead of aborting the whole repair.
@@ -448,28 +536,31 @@ class Coordinator:
         fragments: list[tuple[int, object]] = []
         failed: list[int] = []
         selected, remaining = candidates[:d], candidates[d:]
-        while selected:
-            outcomes = await asyncio.gather(
-                *(contribute(index, location) for index, location in selected),
-                return_exceptions=True,
-            )
-            for (index, _), outcome in zip(selected, outcomes):
-                if isinstance(outcome, PEER_FAILURES):
-                    failed.append(index)
-                elif isinstance(outcome, BaseException):
-                    raise outcome
-                else:
-                    fragments.append(outcome)
-            missing = d - len(fragments)
-            if missing == 0:
-                break
-            if len(remaining) < missing:
-                raise NetRepairError(
-                    f"repair of piece {lost_index}: {len(failed)} helpers "
-                    f"failed ({sorted(failed)}) and only {len(remaining)} "
-                    f"substitutes remain for {missing} open slots"
+        with span.child("fetch_fragments"):
+            while selected:
+                outcomes = await asyncio.gather(
+                    *(contribute(index, location) for index, location in selected),
+                    return_exceptions=True,
                 )
-            selected, remaining = remaining[:missing], remaining[missing:]
+                for (index, _), outcome in zip(selected, outcomes):
+                    if isinstance(outcome, PEER_FAILURES):
+                        failed.append(index)
+                    elif isinstance(outcome, BaseException):
+                        raise outcome
+                    else:
+                        fragments.append(outcome)
+                missing = d - len(fragments)
+                if missing == 0:
+                    break
+                if len(remaining) < missing:
+                    raise NetRepairError(
+                        f"repair of piece {lost_index}: {len(failed)} helpers "
+                        f"failed ({sorted(failed)}) and only {len(remaining)} "
+                        f"substitutes remain for {missing} open slots"
+                    )
+                selected, remaining = remaining[:missing], remaining[missing:]
+        if failed:
+            self.obs.counter("coordinator.helpers_substituted_total").inc(len(failed))
 
         helpers = tuple(index for index, _ in fragments)
         uploads = [fragment for _, fragment in fragments]
@@ -477,10 +568,15 @@ class Coordinator:
         coefficients = sum(
             fragment.coefficient_bytes(self.field) for fragment in uploads
         )
-        piece = self.code.newcomer_repair(uploads, lost_index)
-        blob = piece_to_bytes(piece, self.field)
+        with span.child("combine"):
+            # The newcomer's piece synthesis: the CPU half of a repair.
+            piece = self.code.newcomer_repair(uploads, lost_index)
+            blob = piece_to_bytes(piece, self.field)
         try:
-            await self.client(newcomer).store_piece(manifest.key(lost_index), blob)
+            with span.child("store"):
+                await self.client(newcomer).store_piece(
+                    manifest.key(lost_index), blob
+                )
         except PEER_FAILURES as exc:
             # Any way the newcomer can fail the upload -- dead, a typed
             # ERROR refusal, or a garbled reply -- is the same repair
@@ -514,6 +610,19 @@ class Coordinator:
         recomputed from the survivors -- the mirror image of repair's
         dead-helper substitution.
         """
+        span = self.obs.span("reconstruct")
+        try:
+            with span:
+                result = await self._reconstruct(span, manifest)
+        except NetError as exc:
+            self._count_error("reconstruct", exc)
+            raise
+        self._observe_op("reconstruct", span)
+        return result
+
+    async def _reconstruct(
+        self, span, manifest: NetManifest
+    ) -> tuple[bytes, ReconstructStats]:
         candidates = list(sorted(manifest.pieces.items()))
         probed = 0
 
@@ -532,40 +641,43 @@ class Coordinator:
         coefficient_bytes = 0
         want = self.params.k
         while True:
-            while len(collected) < want and candidates:
-                batch, candidates = (
-                    candidates[: want - len(collected)],
-                    candidates[want - len(collected) :],
-                )
-                probed += len(batch)
-                outcomes = await asyncio.gather(
-                    *(fetch_coefficients(index, loc) for index, loc in batch),
-                    return_exceptions=True,
-                )
-                for outcome in outcomes:
-                    if isinstance(outcome, PEER_FAILURES):
-                        continue  # dead, corrupt, or garbled peer: skip it
-                    if isinstance(outcome, BaseException):
-                        raise outcome
-                    index, location, piece, nbytes = outcome
-                    collected.append((index, location, piece))
-                    coefficient_bytes += nbytes
-            if len(collected) < self.params.k:
-                raise NetReconstructError(
-                    f"only {len(collected)} pieces reachable, need at least "
-                    f"k={self.params.k}"
-                )
-            try:
-                plan = self.code.plan_reconstruction(
-                    [piece for _, _, piece in collected]
-                )
-            except DecodingError as exc:
-                if not candidates:
+            # The whole coefficient phase -- top-up downloads plus the
+            # rank-selection/inversion -- is one "plan" span per attempt.
+            with span.child("plan"):
+                while len(collected) < want and candidates:
+                    batch, candidates = (
+                        candidates[: want - len(collected)],
+                        candidates[want - len(collected) :],
+                    )
+                    probed += len(batch)
+                    outcomes = await asyncio.gather(
+                        *(fetch_coefficients(index, loc) for index, loc in batch),
+                        return_exceptions=True,
+                    )
+                    for outcome in outcomes:
+                        if isinstance(outcome, PEER_FAILURES):
+                            continue  # dead, corrupt, or garbled peer: skip it
+                        if isinstance(outcome, BaseException):
+                            raise outcome
+                        index, location, piece, nbytes = outcome
+                        collected.append((index, location, piece))
+                        coefficient_bytes += nbytes
+                if len(collected) < self.params.k:
                     raise NetReconstructError(
-                        f"reachable pieces do not span the file: {exc}"
-                    ) from exc
-                want = len(collected) + 1  # fetch one more piece and retry
-                continue
+                        f"only {len(collected)} pieces reachable, need at least "
+                        f"k={self.params.k}"
+                    )
+                try:
+                    plan = self.code.plan_reconstruction(
+                        [piece for _, _, piece in collected]
+                    )
+                except DecodingError as exc:
+                    if not candidates:
+                        raise NetReconstructError(
+                            f"reachable pieces do not span the file: {exc}"
+                        ) from exc
+                    want = len(collected) + 1  # fetch one more piece and retry
+                    continue
 
             # Phase 2: group the selected rows per piece and fetch only
             # those fragments.
@@ -580,10 +692,11 @@ class Coordinator:
                 )
                 return position, matrix
 
-            outcomes = await asyncio.gather(
-                *(fetch_rows(position) for position in by_position),
-                return_exceptions=True,
-            )
+            with span.child("fetch"):
+                outcomes = await asyncio.gather(
+                    *(fetch_rows(position) for position in by_position),
+                    return_exceptions=True,
+                )
             lost_positions = []
             matrices: dict[int, np.ndarray] = {}
             for outcome in outcomes:
@@ -612,9 +725,10 @@ class Coordinator:
             stacked = np.stack(rows)
             # The final decode is the other big GF product; keep the event
             # loop free while the blocked kernel runs.
-            original = await asyncio.to_thread(
-                linalg.gf_matmul, self.field, plan.inverse, stacked
-            )
+            with span.child("decode"):
+                original = await asyncio.to_thread(
+                    linalg.gf_matmul, self.field, plan.inverse, stacked
+                )
             data = self.field.elements_to_bytes(original.reshape(-1))
             payload = stacked.size * self.field.element_size
             stats = ReconstructStats(

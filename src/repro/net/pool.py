@@ -34,7 +34,8 @@ from __future__ import annotations
 
 import asyncio
 import logging
-import time
+
+from repro.obs import NULL_REGISTRY, MetricsRegistry, now_ns
 
 __all__ = ["ConnectionPool", "PooledConnection"]
 
@@ -44,12 +45,12 @@ logger = logging.getLogger(__name__)
 class PooledConnection:
     """One open stream to the peer, plus the pool's bookkeeping."""
 
-    __slots__ = ("reader", "writer", "last_used", "reused")
+    __slots__ = ("reader", "writer", "last_used_ns", "reused")
 
     def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
         self.reader = reader
         self.writer = writer
-        self.last_used = time.monotonic()
+        self.last_used_ns = now_ns()
         #: True when this checkout came from the idle list rather than a
         #: fresh connect -- the client uses it to decide whether a
         #: failure deserves a transparent reconnect.
@@ -70,6 +71,7 @@ class ConnectionPool:
         size: int,
         connect_timeout: float = 5.0,
         idle_timeout: float = 30.0,
+        registry: MetricsRegistry | None = None,
     ):
         if size < 0:
             raise ValueError(f"pool size must be >= 0, got {size}")
@@ -87,6 +89,14 @@ class ConnectionPool:
         self.reused = 0
         self.evicted = 0
         self.reaped = 0
+        # The same four, mirrored into the obs registry with a per-peer
+        # label (a registry-less pool records into the shared no-op one).
+        obs = registry if registry is not None else NULL_REGISTRY
+        peer = f"{host}:{port}"
+        self._m_opened = obs.counter("pool.connections_opened_total", peer=peer)
+        self._m_reused = obs.counter("pool.connections_reused_total", peer=peer)
+        self._m_evicted = obs.counter("pool.connections_evicted_total", peer=peer)
+        self._m_reaped = obs.counter("pool.connections_reaped_total", peer=peer)
 
     @property
     def pooling(self) -> bool:
@@ -119,14 +129,17 @@ class ConnectionPool:
                     if conn.healthy():
                         conn.reused = True
                         self.reused += 1
+                        self._m_reused.inc()
                         return conn
                     self.evicted += 1
+                    self._m_evicted.inc()
                     self._abort(conn)
             reader, writer = await asyncio.wait_for(
                 asyncio.open_connection(self.host, self.port),
                 timeout=self.connect_timeout,
             )
             self.opened += 1
+            self._m_opened.inc()
             return PooledConnection(reader, writer)
         except BaseException:
             if self._slots is not None:
@@ -143,7 +156,7 @@ class ConnectionPool:
             and conn.healthy()
         )
         if keep:
-            conn.last_used = time.monotonic()
+            conn.last_used_ns = now_ns()
             conn.reused = False
             self._idle.append(conn)
             self.reap()
@@ -158,14 +171,16 @@ class ConnectionPool:
 
     def reap(self) -> int:
         """Close idle streams unused for longer than ``idle_timeout``."""
-        now = time.monotonic()
+        now = now_ns()
+        limit_ns = self.idle_timeout * 1e9
         stale = [
-            conn for conn in self._idle if now - conn.last_used > self.idle_timeout
+            conn for conn in self._idle if now - conn.last_used_ns > limit_ns
         ]
         if stale:
             self._idle = [conn for conn in self._idle if conn not in stale]
             for conn in stale:
                 self.reaped += 1
+                self._m_reaped.inc()
                 self._abort(conn)
         return len(stale)
 

@@ -29,6 +29,7 @@ Requests (client -> daemon):
                                               n_piece fragments into one
                                               coded fragment and uploads
                                               only that (fig. 2a)
+    GET_STATS    (empty)                      metrics snapshot request
 
 Responses (daemon -> client):
 
@@ -38,6 +39,11 @@ Responses (daemon -> client):
     ROWS         q u8, pad u8, pad u16,
                  n_rows u32, l_frag u32,
                  elements                     GET_ROWS answer
+    STATS        UTF-8 JSON                   the daemon's metrics
+                                              snapshot, versioned by its
+                                              own ``format`` field
+                                              (``repro-obs-snapshot-v1``,
+                                              see docs/OBSERVABILITY.md)
     ERROR        code u16, message            typed failure
 
 ``key`` is a UTF-8 string prefixed by a u16 length; it names a stored
@@ -49,8 +55,9 @@ from __future__ import annotations
 import asyncio
 import dataclasses
 import enum
+import json
 import struct
-from typing import ClassVar
+from typing import Any, ClassVar
 
 import numpy as np
 
@@ -75,10 +82,13 @@ __all__ = [
     "Rows",
     "RepairRead",
     "FragmentData",
+    "GetStats",
+    "StatsData",
     "encode_message",
     "encode_frames",
     "decode_message",
     "read_message",
+    "read_message_sized",
     "write_message",
     "operation_name",
 ]
@@ -107,6 +117,8 @@ class MessageType(enum.IntEnum):
     ROWS = 8
     REPAIR_READ = 9
     FRAGMENT = 10
+    GET_STATS = 11
+    STATS = 12
 
 
 class ErrorCode(enum.IntEnum):
@@ -371,6 +383,48 @@ class FragmentData(Message):
         return cls(blob=body)
 
 
+@dataclasses.dataclass(frozen=True)
+class GetStats(Message):
+    TYPE: ClassVar[MessageType] = MessageType.GET_STATS
+
+
+@dataclasses.dataclass(frozen=True)
+class StatsData(Message):
+    """A daemon's metrics snapshot, carried as canonical UTF-8 JSON.
+
+    The payload versions itself: its ``format`` field must say
+    ``repro-obs-snapshot-v1`` (validated by the *client*, so the wire
+    layer stays ignorant of the snapshot schema).
+    """
+
+    TYPE: ClassVar[MessageType] = MessageType.STATS
+    blob: Buffer = b""
+
+    def encode_body_parts(self) -> list[Buffer]:
+        return [self.blob]
+
+    def encode_body(self) -> bytes:
+        return bytes(self.blob)
+
+    @classmethod
+    def decode_body(cls, body: bytes, flags: int) -> "StatsData":
+        return cls(blob=body)
+
+    def to_snapshot(self) -> dict[str, Any]:
+        """Parse the carried JSON object (schema left to the caller)."""
+        try:
+            payload = json.loads(bytes(self.blob).decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise ProtocolError(f"STATS payload is not valid JSON: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise ProtocolError("STATS payload must be a JSON object")
+        return payload
+
+    @classmethod
+    def from_snapshot(cls, snapshot: dict[str, Any]) -> "StatsData":
+        return cls(blob=json.dumps(snapshot, sort_keys=True).encode("utf-8"))
+
+
 _REGISTRY: dict[int, type[Message]] = {
     int(cls.TYPE): cls
     for cls in (
@@ -384,6 +438,8 @@ _REGISTRY: dict[int, type[Message]] = {
         Rows,
         RepairRead,
         FragmentData,
+        GetStats,
+        StatsData,
     )
 }
 
@@ -467,17 +523,28 @@ async def read_message(reader: asyncio.StreamReader) -> Message:
     Raises ``asyncio.IncompleteReadError`` on clean EOF mid-frame and
     :class:`ProtocolError` on malformed frames.
     """
+    message, _ = await read_message_sized(reader)
+    return message
+
+
+async def read_message_sized(reader: asyncio.StreamReader) -> tuple[Message, int]:
+    """Like :func:`read_message`, also returning the frame size in bytes.
+
+    The size covers the whole frame (header + body) -- what a
+    byte-accounting caller (the daemon's ``bytes_received`` counter)
+    actually paid on the wire.
+    """
     header = await reader.readexactly(_FRAME.size)
     cls, flags, body_len = _parse_frame_header(header)
     body = await reader.readexactly(body_len) if body_len else b""
-    return cls.decode_body(body, flags)
+    return cls.decode_body(body, flags), _FRAME.size + body_len
 
 
 async def write_message(
     writer: asyncio.StreamWriter,
     message: Message,
     timeout: float | None = None,
-) -> None:
+) -> int:
     """Frame and send ``message``, waiting for the transport to drain.
 
     ``timeout`` bounds the drain: a peer that accepts the connection but
@@ -488,10 +555,13 @@ async def write_message(
     Frames go out as a buffer list via ``writelines`` (``writev`` style):
     header and payload parts are handed to the transport without being
     concatenated first, so large piece uploads/downloads cost zero
-    framing copies.
+    framing copies.  Returns the frame size in bytes (header + body)
+    for byte-accounting callers.
     """
-    writer.writelines(encode_frames(message))
+    frames = encode_frames(message)
+    writer.writelines(frames)
     if timeout is None:
         await writer.drain()
     else:
         await asyncio.wait_for(writer.drain(), timeout=timeout)
+    return sum(len(part) for part in frames)

@@ -46,18 +46,21 @@ from repro.net.protocol import (
     FragmentData,
     GetPiece,
     GetRows,
+    GetStats,
     Message,
     Ok,
     PieceData,
     Ping,
     RepairRead,
     Rows,
+    StatsData,
     StorePiece,
     encode_message,
     operation_name,
-    read_message,
+    read_message_sized,
     write_message,
 )
+from repro.obs import MetricsRegistry, now_ns
 
 __all__ = ["PeerDaemon"]
 
@@ -93,6 +96,12 @@ class PeerDaemon:
         (the default) keeps connections forever -- fine for tests and
         trusted clusters; the CLI sets a finite value so abandoned
         pooled streams don't pin file descriptors.
+    registry:
+        The :class:`repro.obs.MetricsRegistry` this daemon records into
+        (and serves over the STATS opcode).  Defaults to a fresh
+        registry honouring the ``REPRO_OBS`` switch.  A store without
+        its own registry is attached to this one, so blockstore byte and
+        fsync metrics show up in the daemon's snapshot.
     """
 
     def __init__(
@@ -105,6 +114,7 @@ class PeerDaemon:
         fault_plan: FaultPlan | None = None,
         fault_scope: str | None = None,
         idle_timeout: float | None = None,
+        registry: MetricsRegistry | None = None,
     ):
         if max_concurrent < 1:
             raise ValueError(f"max_concurrent must be >= 1, got {max_concurrent}")
@@ -128,6 +138,16 @@ class PeerDaemon:
         #: Connections accepted since start (monitoring; a pooled client
         #: should keep this far below its request count).
         self.connections_accepted = 0
+        self.obs = registry if registry is not None else MetricsRegistry()
+        if self.store.obs is None:
+            self.store.obs = self.obs
+        self._bytes_received = self.obs.counter("daemon.bytes_received_total")
+        self._bytes_sent = self.obs.counter("daemon.bytes_sent_total")
+        self._connections_open = self.obs.gauge("daemon.connections_open")
+        self._connections_total = self.obs.counter("daemon.connections_total")
+        # Per-opcode (requests counter, handler-latency histogram), cached
+        # so the hot request loop never rebuilds label keys.
+        self._op_instruments: dict[str, tuple] = {}
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -211,6 +231,7 @@ class PeerDaemon:
         if event is not None:
             kind = event.kind.value
             self.faults_applied[kind] = self.faults_applied.get(kind, 0) + 1
+            self.obs.counter("daemon.faults_total", kind=kind).inc()
         return event
 
     async def _handle_connection(
@@ -222,24 +243,28 @@ class PeerDaemon:
             self._handlers.add(task)
         self._connections.add(writer)
         self.connections_accepted += 1
+        self._connections_total.inc()
+        self._connections_open.inc()
         try:
             while True:
                 try:
                     if self.idle_timeout is not None:
-                        request = await asyncio.wait_for(
-                            read_message(reader), timeout=self.idle_timeout
+                        request, frame_bytes = await asyncio.wait_for(
+                            read_message_sized(reader), timeout=self.idle_timeout
                         )
                     else:
-                        request = await read_message(reader)
+                        request, frame_bytes = await read_message_sized(reader)
                 except asyncio.TimeoutError:
                     break  # idle past the deadline; reap the connection
                 except asyncio.IncompleteReadError:
                     break  # clean EOF between frames
                 except ProtocolError as exc:
-                    await write_message(
+                    sent = await write_message(
                         writer, Error(code=int(ErrorCode.BAD_REQUEST), message=str(exc))
                     )
+                    self._bytes_sent.inc(sent)
                     break  # framing is lost; drop the connection
+                self._bytes_received.inc(frame_bytes)
                 event = self._decide_fault(request)
                 if event is not None and event.kind is FaultKind.CRASH:
                     self.crash()
@@ -251,12 +276,13 @@ class PeerDaemon:
                     # block its healthy transfers.
                     await asyncio.sleep(self.fault_plan.rule(event).delay)
                 async with self._semaphore:
-                    response = self._dispatch(request)
+                    response = self._timed_dispatch(request)
                 if event is not None and event.kind is FaultKind.TRUNCATE:
                     frame = self.fault_plan.truncate_frame(
                         encode_message(response), event
                     )
                     writer.write(frame)
+                    self._bytes_sent.inc(len(frame))
                     await writer.drain()
                     break  # the rest of the frame is never coming
                 if event is not None and event.kind is FaultKind.CORRUPT:
@@ -264,15 +290,20 @@ class PeerDaemon:
                         encode_message(response), event
                     )
                     writer.write(frame)
+                    self._bytes_sent.inc(len(frame))
                     await writer.drain()
                     continue
                 try:
-                    await write_message(writer, response, timeout=self.idle_timeout)
+                    sent = await write_message(
+                        writer, response, timeout=self.idle_timeout
+                    )
+                    self._bytes_sent.inc(sent)
                 except asyncio.TimeoutError:
                     break  # client stopped reading; don't stall the handler
         except (ConnectionResetError, BrokenPipeError):
             logger.debug("connection from %s reset", peername)
         finally:
+            self._connections_open.dec()
             self._connections.discard(writer)
             if task is not None:
                 self._handlers.discard(task)
@@ -285,6 +316,28 @@ class PeerDaemon:
     def _count(self, request: Message) -> None:
         name = type(request).__name__
         self.requests_served[name] = self.requests_served.get(name, 0) + 1
+        self._instruments(request)[0].inc()
+
+    def _instruments(self, request: Message) -> tuple:
+        """The per-opcode (requests counter, handler histogram) pair."""
+        key = type(request).__name__
+        cached = self._op_instruments.get(key)
+        if cached is None:
+            op = operation_name(request)
+            cached = self._op_instruments[key] = (
+                self.obs.counter("daemon.requests_total", op=op),
+                self.obs.histogram("daemon.handler_ns", op=op),
+            )
+        return cached
+
+    def _timed_dispatch(self, request: Message) -> Message:
+        """Dispatch with the handler's compute time recorded per opcode."""
+        if not self.obs.enabled:
+            return self._dispatch(request)
+        start = now_ns()
+        response = self._dispatch(request)
+        self._instruments(request)[1].observe(now_ns() - start)
+        return response
 
     def _dispatch(self, request: Message) -> Message:
         self._count(request)
@@ -299,6 +352,8 @@ class PeerDaemon:
                 return self._get_rows(request)
             if isinstance(request, RepairRead):
                 return self._repair_read(request)
+            if isinstance(request, GetStats):
+                return self._get_stats(request)
             return Error(
                 code=int(ErrorCode.BAD_REQUEST),
                 message=f"unexpected request type {type(request).__name__}",
@@ -369,3 +424,11 @@ class PeerDaemon:
             coefficients=field.linear_combination(mixing, piece.coefficients),
         )
         return FragmentData(blob=fragment_to_bytes(fragment, field))
+
+    def _get_stats(self, request: GetStats) -> Message:
+        """The STATS opcode: this daemon's registry as versioned JSON."""
+        return StatsData.from_snapshot(self.snapshot())
+
+    def snapshot(self) -> dict:
+        """The daemon's metrics (including its store's) as a snapshot."""
+        return self.obs.snapshot()

@@ -1,0 +1,82 @@
+"""Span tracing: time named phases of an operation, nested.
+
+A :class:`Span` is a context manager that measures one phase on the
+:func:`repro.obs.registry.now_ns` clock and records the duration into
+its registry as a ``span.<path>`` histogram, where ``path`` is the
+dot-joined chain of names down from the root span::
+
+    span = registry.span("insert")
+    with span:
+        with span.child("encode"):
+            ...                      # -> span.insert.encode
+        with span.child("place"):
+            ...                      # -> span.insert.place
+    # the whole operation          -> span.insert
+
+This is how the paper's Table 1 split -- encode CPU time vs transfer
+time -- is attributed per live operation instead of inferred from an
+end-to-end wall clock.  Each ``child`` call makes a fresh span, so
+concurrent phases (a gather of per-peer RPCs) can each carry their own.
+
+A disabled registry (``REPRO_OBS=off``) hands out :data:`NULL_SPAN`,
+which never reads the clock and records nothing.
+"""
+
+from __future__ import annotations
+
+from repro.obs.registry import MetricsRegistry, now_ns
+
+__all__ = ["Span", "NULL_SPAN"]
+
+
+class Span:
+    """One timed phase; ``duration_ns`` is valid after the ``with`` block."""
+
+    __slots__ = ("registry", "path", "start_ns", "duration_ns")
+
+    def __init__(
+        self, registry: MetricsRegistry, name: str, parent: "Span | None" = None
+    ) -> None:
+        self.registry = registry
+        self.path = name if parent is None else f"{parent.path}.{name}"
+        self.start_ns = 0
+        self.duration_ns = 0
+
+    def child(self, name: str) -> "Span":
+        """A nested phase; its histogram name extends this span's path."""
+        return Span(self.registry, name, parent=self)
+
+    def __enter__(self) -> "Span":
+        self.start_ns = now_ns()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        # Record on the error path too: a phase that failed still took
+        # time, and tail latencies that exclude failures lie.
+        self.duration_ns = now_ns() - self.start_ns
+        self.registry.histogram("span." + self.path).observe(self.duration_ns)
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Span({self.path!r}, duration_ns={self.duration_ns})"
+
+
+class _NullSpan:
+    """The kill-switch span: no clock reads, no records, nests into itself."""
+
+    __slots__ = ()
+    path = ""
+    start_ns = 0
+    duration_ns = 0
+
+    def child(self, name: str) -> "_NullSpan":
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+NULL_SPAN = _NullSpan()

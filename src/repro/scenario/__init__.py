@@ -29,6 +29,7 @@ from repro.scenario.models import (
 )
 from repro.scenario.runner import (
     REPORT_FORMAT,
+    SUPPORTED_REPORT_FORMATS,
     ScenarioReport,
     ScenarioRunner,
     WindowRecord,
@@ -46,6 +47,7 @@ __all__ = [
     "MODELS",
     "REPORT_FORMAT",
     "SCHEDULE_FORMAT",
+    "SUPPORTED_REPORT_FORMATS",
     "ChurnModel",
     "CorrelatedFailureModel",
     "DiurnalModel",

@@ -45,9 +45,19 @@ from repro.net.errors import NetError
 from repro.net.faults import FaultPlan
 from repro.scenario.schedule import ScenarioEvent, Schedule
 
-__all__ = ["REPORT_FORMAT", "ScenarioReport", "ScenarioRunner", "WindowRecord"]
+__all__ = [
+    "REPORT_FORMAT",
+    "SUPPORTED_REPORT_FORMATS",
+    "ScenarioReport",
+    "ScenarioRunner",
+    "WindowRecord",
+]
 
-REPORT_FORMAT = "repro-scenario-report-v1"
+REPORT_FORMAT = "repro-scenario-report-v2"
+#: Formats :meth:`ScenarioReport.load_jsonable` accepts.  v1 reports
+#: predate the embedded obs snapshots (their ``obs`` key reads as
+#: ``None``); everything the replay machinery compares is unchanged.
+SUPPORTED_REPORT_FORMATS = ("repro-scenario-report-v1", REPORT_FORMAT)
 
 
 @dataclasses.dataclass
@@ -102,6 +112,10 @@ class ScenarioReport:
     max_repair_lag: int
     violations: list[str]
     invariants: dict
+    #: Coordinator-side metrics snapshots (``repro-obs-snapshot-v1``)
+    #: bracketing the run: ``{"begin": ..., "end": ...}``.  ``None``
+    #: when loaded from a v1 report.
+    obs: dict | None = None
 
     @property
     def ok(self) -> bool:
@@ -123,6 +137,7 @@ class ScenarioReport:
             "max_repair_lag": self.max_repair_lag,
             "violations": self.violations,
             "invariants": self.invariants,
+            "obs": self.obs,
             "ok": self.ok,
         }
 
@@ -132,8 +147,11 @@ class ScenarioReport:
     @staticmethod
     def load_jsonable(path) -> dict:
         payload = json.loads(pathlib.Path(path).read_text())
-        if payload.get("format") != REPORT_FORMAT:
+        if payload.get("format") not in SUPPORTED_REPORT_FORMATS:
             raise ValueError(f"not a scenario report file: {path}")
+        # v1 reports carry no obs snapshots; normalise so readers can
+        # always ask payload["obs"] without a format switch.
+        payload.setdefault("obs", None)
         return payload
 
 
@@ -411,6 +429,9 @@ class ScenarioRunner:
                     )
             else:
                 state.eligible_lag = 0
+        coordinator.obs.gauge("coordinator.repair_lag").set(
+            max((state.eligible_lag for state in self._files), default=0)
+        )
 
     async def verify_files(
         self,
@@ -513,6 +534,7 @@ class ScenarioRunner:
             fault_plan=plan,
             pool_size=self.pool_size,
         )
+        obs_begin = coordinator.metrics_snapshot()
         async with cluster, coordinator:
             for number in range(len(cluster)):
                 self._address_to_peer[cluster.address_of(number)] = number
@@ -561,4 +583,5 @@ class ScenarioRunner:
             max_repair_lag=max_lag,
             violations=list(self._violations),
             invariants=invariants,
+            obs={"begin": obs_begin, "end": coordinator.metrics_snapshot()},
         )

@@ -71,6 +71,31 @@ def canonical_fragment():
     return fragment, field
 
 
+def canonical_obs_snapshot() -> dict:
+    """A small fixed metrics snapshot: pins ``repro-obs-snapshot-v1``.
+
+    Built from hard-coded observations (no clocks), so the JSON is
+    byte-stable.  Covers every schema feature: labelled and unlabelled
+    counters, a gauge, the default nanosecond buckets with under/overflow
+    observations, and a custom-bucket histogram.  The gatekeeper is
+    tests/obs/test_snapshot_golden.py.
+    """
+    from repro.obs import MetricsRegistry
+
+    registry = MetricsRegistry(enabled=True)
+    registry.counter("daemon.requests_total", op="ping").inc(3)
+    registry.counter("daemon.requests_total", op="store_piece").inc(2)
+    registry.counter("daemon.bytes_received_total").inc(4096)
+    registry.gauge("daemon.connections_open").set(2)
+    latency = registry.histogram("daemon.handler_ns", op="ping")
+    for value in (900, 1000, 2500, 40_000, 1_000_000, 12_000_000_000):
+        latency.observe(value)
+    custom = registry.histogram("coordinator.op_ns", (10, 100, 1000), op="insert")
+    for value in (5, 50, 500, 5000):
+        custom.observe(value)
+    return registry.snapshot()
+
+
 def piece_v1_bytes() -> bytes:
     """The canonical piece in format v1: same body, no CRC32 field."""
     piece, field = canonical_piece()
@@ -85,6 +110,8 @@ def piece_v1_bytes() -> bytes:
 
 
 def main() -> None:
+    import json
+
     piece, field = canonical_piece()
     fragment, _ = canonical_fragment()
     (HERE / "piece_v1.bin").write_bytes(piece_v1_bytes())
@@ -95,12 +122,16 @@ def main() -> None:
     trace = canonical_trace()
     trace.save(HERE / "churn_trace_golden.json")
     Schedule.from_trace(trace).save(HERE / "scenario_schedule_golden.json")
+    (HERE / "obs_snapshot_golden.json").write_text(
+        json.dumps(canonical_obs_snapshot(), indent=2, sort_keys=True) + "\n"
+    )
     for name in (
         "piece_v1.bin",
         "piece_v2.bin",
         "fragment_v2.bin",
         "churn_trace_golden.json",
         "scenario_schedule_golden.json",
+        "obs_snapshot_golden.json",
     ):
         print(f"wrote {name}: {len((HERE / name).read_bytes())} bytes")
 

@@ -1,0 +1,22 @@
+"""RL401 fixture: wall-clock timestamps subtracted into latencies."""
+
+import time
+
+
+def handler_latency(work):
+    start = time.time()
+    work()
+    elapsed = time.time() - start  # line 9: wall-clock latency
+    return elapsed
+
+
+def monotonic_latency(work):
+    begin = time.monotonic()
+    work()
+    return time.monotonic() - begin  # line 16: monotonic float latency
+
+
+def budget_countdown(deadline):
+    remaining = deadline
+    remaining -= time.time()  # line 21: wall clock folded into a duration
+    return remaining

@@ -1,0 +1,26 @@
+"""RL401 near-misses: legal clock use that must stay clean."""
+
+import time
+
+from repro.obs import now_ns
+
+
+def handler_latency(work):
+    start = now_ns()
+    work()
+    return now_ns() - start  # the sanctioned duration clock
+
+
+def wall_clock_stamp():
+    # Timestamping (not a latency): wall clock is the right clock here.
+    return time.time()
+
+
+def schedule_at(interval):
+    # Addition is scheduling, not measurement.
+    return time.monotonic() + interval
+
+
+def counters_not_clocks(before, after):
+    # A subtraction of names never assigned from the wall clock.
+    return after - before

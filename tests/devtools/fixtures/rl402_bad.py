@@ -1,0 +1,16 @@
+"""RL402 fixture: literal metric names breaking the naming scheme."""
+
+
+class Daemon:
+    def __init__(self, registry):
+        self.obs = registry
+
+    def record(self, nbytes):
+        self.obs.counter("daemon.BytesIn").inc(nbytes)  # line 9: casing
+        self.obs.histogram("flux.handler_ns")  # line 10: unknown domain
+        self.obs.gauge("connections")  # line 11: no domain part
+
+
+def module_level(registry, metrics):
+    registry.counter("daemon.requests-total")  # line 15: dash, not underscore
+    metrics.histogram("Pool.rpc_ns")  # line 16: capitalised domain

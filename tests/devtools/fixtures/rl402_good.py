@@ -1,0 +1,18 @@
+"""RL402 near-misses: scheme-following and out-of-scope calls."""
+
+
+class Daemon:
+    def __init__(self, registry):
+        self.obs = registry
+
+    def record(self, nbytes, op):
+        self.obs.counter("daemon.bytes_received_total").inc(nbytes)
+        self.obs.histogram("daemon.handler_ns", op=op)
+        self.obs.gauge("pool.connections_open").set(3)
+        # Dynamic names (the span layer) are the runtime check's job.
+        self.obs.histogram("span." + op)
+
+
+def not_a_registry(accounting):
+    # Same method names on a non-registry receiver: out of scope.
+    accounting.counter("whatever format")

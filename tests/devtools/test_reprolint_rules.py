@@ -172,6 +172,47 @@ def test_protocol_drift_needs_all_three_files():
     assert report.findings == []
 
 
+# ---------------------------------------------------------------- RL4xx
+
+
+def test_rl401_flags_wall_clock_latencies():
+    report = lint_fixture("rl401_bad.py")
+    assert codes_and_lines(report) == [
+        ("RL401", 9),
+        ("RL401", 16),
+        ("RL401", 21),
+    ]
+    assert "now_ns" in report.findings[0].message
+
+
+def test_rl401_good_fixture_is_clean():
+    assert lint_fixture("rl401_good.py").findings == []
+
+
+def test_rl402_flags_off_scheme_metric_names():
+    report = lint_fixture("rl402_bad.py")
+    assert codes_and_lines(report) == [
+        ("RL402", 9),
+        ("RL402", 10),
+        ("RL402", 11),
+        ("RL402", 15),
+        ("RL402", 16),
+    ]
+    assert "domain.noun_verb" in report.findings[0].message
+    assert "unregistered domain" in report.findings[1].message
+
+
+def test_rl402_good_fixture_is_clean():
+    assert lint_fixture("rl402_good.py").findings == []
+
+
+def test_obs_rules_do_not_apply_to_test_code():
+    # Tests time things however they like and invent metric names for
+    # assertions; the obs family is production-code-only.
+    report = lint_fixture("rl401_bad.py", "rl402_bad.py", role="test")
+    assert report.findings == []
+
+
 def test_rl303_flags_duplicated_wire_literals():
     report = lint_fixture("rl303_bad.py")
     assert codes_and_lines(report) == [

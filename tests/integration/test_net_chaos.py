@@ -212,3 +212,50 @@ def test_helper_crash_substitutes_and_records_failure(tmp_path):
             return restored
 
     assert asyncio.run(asyncio.wait_for(scenario(), timeout=HARD_TIMEOUT)) == DATA
+
+
+def test_faults_show_up_in_the_metrics_snapshot(tmp_path):
+    """Injected transport faults must leave an audit trail in obs: the
+    per-peer ``client.failures_total`` counters and the legacy
+    ``transport_stats()`` roll-up both read nonzero after a crash run."""
+    from repro.obs import MetricsRegistry, validate_snapshot
+
+    async def scenario():
+        plan = FaultPlan(
+            [FaultRule(kind="crash", operation="repair_read", key="f/1", times=1)],
+            seed=7,
+        )
+        async with (
+            LocalCluster(PEERS, tmp_path, seed=5, fault_plan=plan) as cluster,
+            Coordinator(
+                PARAMS,
+                rng=np.random.default_rng(11),
+                retry=RetryPolicy(retries=1, backoff=0.01, jitter=0.0),
+                read_timeout=0.2,
+                fault_plan=plan,
+                registry=MetricsRegistry(enabled=True),
+            ) as coordinator,
+        ):
+            stats = await coordinator.insert(DATA, cluster.addresses, "f")
+            newcomer = await cluster.spawn()
+            await coordinator.repair(stats.manifest, REPAIRED_PIECE, newcomer)
+            return coordinator.metrics_snapshot(), coordinator.transport_stats()
+
+    snapshot, transport = asyncio.run(
+        asyncio.wait_for(scenario(), timeout=HARD_TIMEOUT)
+    )
+    validate_snapshot(snapshot)
+    assert transport["transport_failures"] > 0
+    failures = sum(
+        entry["value"]
+        for entry in snapshot["counters"]
+        if entry["name"] == "client.failures_total"
+    )
+    assert failures == transport["transport_failures"]
+    # The substitution the crash forced is counted too.
+    substituted = [
+        entry["value"]
+        for entry in snapshot["counters"]
+        if entry["name"] == "coordinator.helpers_substituted_total"
+    ]
+    assert substituted and substituted[0] >= 1

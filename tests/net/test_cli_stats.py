@@ -1,0 +1,116 @@
+"""CLI surfaces of the obs stack: ``repro stats`` and ``net put --stats-json``.
+
+The CLI handlers drive their own ``asyncio.run``, so the daemon they
+talk to lives on a background thread with its own event loop.
+"""
+
+import asyncio
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.net.blockstore import BlockStore
+from repro.net.server import PeerDaemon
+from repro.obs import validate_snapshot
+
+
+class DaemonThread:
+    """A PeerDaemon serving from a dedicated thread + event loop."""
+
+    def __init__(self, root):
+        self.root = root
+        self.address = None
+        self._ready = threading.Event()
+        self._loop = None
+        self._stop = None
+
+    def __enter__(self):
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+        assert self._ready.wait(10), "daemon thread never came up"
+        return self
+
+    def _serve(self):
+        async def run():
+            daemon = PeerDaemon(BlockStore(self.root), rng=np.random.default_rng(3))
+            await daemon.start()
+            self.address = daemon.address
+            self._loop = asyncio.get_running_loop()
+            self._stop = asyncio.Event()
+            self._ready.set()
+            try:
+                await self._stop.wait()
+            finally:
+                await daemon.stop()
+
+        asyncio.run(run())
+
+    def __exit__(self, *exc):
+        self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(10)
+
+    @property
+    def peer(self) -> str:
+        host, port = self.address
+        return f"{host}:{port}"
+
+
+def test_stats_prints_a_valid_snapshot(tmp_path, capsys):
+    with DaemonThread(tmp_path / "store") as daemon:
+        code = main(["stats", daemon.peer])
+    assert code == 0
+    snapshot = json.loads(capsys.readouterr().out)
+    validate_snapshot(snapshot)
+    assert snapshot["format"] == "repro-obs-snapshot-v1"
+    # The query itself is the daemon's first request: it must be counted
+    # (proof the per-opcode counters flow through to the CLI).
+    counters = {
+        (entry["name"], entry["labels"].get("op")): entry["value"]
+        for entry in snapshot["counters"]
+    }
+    assert counters[("daemon.requests_total", "get_stats")] == 1
+
+
+def test_stats_against_a_dead_peer_fails_cleanly(capsys):
+    code = main(["stats", "127.0.0.1:1", "--connect-timeout", "0.2"])
+    err = capsys.readouterr().err
+    assert code == 1
+    assert err.startswith("error: cannot fetch stats from")
+
+
+def test_net_put_writes_a_stats_json(tmp_path, capsys):
+    source = tmp_path / "payload.bin"
+    source.write_bytes(bytes(range(256)) * 16)
+    manifest = tmp_path / "m.json"
+    stats_path = tmp_path / "put-stats.json"
+    with DaemonThread(tmp_path / "store") as daemon:
+        code = main(
+            [
+                "net", "put", str(source),
+                "--peers", daemon.peer,
+                "-k", "2", "-H", "2", "-d", "3", "-i", "1",
+                "--manifest", str(manifest),
+                "--seed", "5",
+                "--stats-json", str(stats_path),
+            ]
+        )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert f"metrics snapshot -> {stats_path}" in out
+    assert manifest.exists()
+    snapshot = json.loads(stats_path.read_text())
+    validate_snapshot(snapshot)
+    # The insert's spans and RPCs survived _run_net_op's pool teardown.
+    histograms = {entry["name"] for entry in snapshot["histograms"]}
+    assert "span.insert.encode" in histograms
+    assert "coordinator.op_ns" in histograms
+    counters = {
+        (entry["name"], entry["labels"].get("op")): entry["value"]
+        for entry in snapshot["counters"]
+    }
+    # RC(2, 2, 3, 1) makes k + h = 4 pieces, all stored on the one peer.
+    assert counters[("client.requests_total", "store_piece")] == 4
+    assert counters[("coordinator.pieces_placed_total", None)] == 4

@@ -1,0 +1,50 @@
+"""Golden-fixture pin of the ``repro-obs-snapshot-v1`` JSON schema.
+
+``tests/data/obs_snapshot_golden.json`` is built by
+``tests/data/make_golden.py`` from hard-coded observations.  If this
+test fails, the snapshot schema drifted: either bump
+``SNAPSHOT_FORMAT`` deliberately (and regenerate), or fix the
+regression.  Peers exchange these snapshots over STATS, so silent
+drift breaks mixed-version swarms.
+"""
+
+import importlib.util
+import json
+import pathlib
+
+from repro.obs import validate_snapshot
+
+DATA = pathlib.Path(__file__).parent.parent / "data"
+
+
+def load_make_golden():
+    spec = importlib.util.spec_from_file_location(
+        "make_golden", DATA / "make_golden.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_canonical_snapshot_matches_the_golden_file():
+    produced = load_make_golden().canonical_obs_snapshot()
+    golden = json.loads((DATA / "obs_snapshot_golden.json").read_text())
+    assert produced == golden
+
+
+def test_golden_snapshot_is_schema_valid():
+    golden = json.loads((DATA / "obs_snapshot_golden.json").read_text())
+    validate_snapshot(golden)
+    assert golden["format"] == "repro-obs-snapshot-v1"
+    # The fixture exercises labels, default + custom buckets, and the
+    # under/overflow paths; spot-check the parts tools key on.
+    names = {entry["name"] for entry in golden["counters"]}
+    assert "daemon.requests_total" in names
+    handler = next(
+        entry
+        for entry in golden["histograms"]
+        if entry["name"] == "daemon.handler_ns"
+    )
+    assert len(handler["counts"]) == len(handler["buckets"]) + 1
+    assert handler["counts"][-1] == 1  # the 12 s observation overflowed
+    assert handler["p50"] is not None

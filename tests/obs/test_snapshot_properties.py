@@ -1,0 +1,87 @@
+"""Property-based laws of the snapshot algebra.
+
+Hypothesis drives arbitrary observation sets through the registry and
+asserts the two structural guarantees every downstream consumer (merge
+roll-ups, the scenario report embed, the CLI) relies on:
+
+- **conservation**: bucket counts always sum to the observation count,
+  and survive any merge;
+- **associativity**: ``merge(merge(a, b), c) == merge(a, merge(b, c))``
+  exactly (integer counter/bucket arithmetic, deterministic percentile
+  recomputation), so per-peer snapshots roll up in any grouping order.
+"""
+
+import pytest
+
+pytest.importorskip("hypothesis")
+
+from hypothesis import given, strategies as st
+
+from repro.obs import MetricsRegistry, merge_snapshots, validate_snapshot
+
+pytestmark = pytest.mark.property
+
+observations = st.lists(
+    st.integers(min_value=0, max_value=10**11), min_size=0, max_size=60
+)
+counter_values = st.dictionaries(
+    st.sampled_from(["ping", "store_piece", "get_rows", "repair_read"]),
+    st.integers(min_value=0, max_value=10**9),
+    max_size=4,
+)
+
+
+def build_snapshot(counters: dict, latencies: list) -> dict:
+    registry = MetricsRegistry(enabled=True)
+    for op, value in counters.items():
+        registry.counter("daemon.requests_total", op=op).inc(value)
+    histogram = registry.histogram("daemon.handler_ns")
+    for value in latencies:
+        histogram.observe(value)
+    return registry.snapshot()
+
+
+@given(counters=counter_values, latencies=observations)
+def test_snapshots_conserve_bucket_counts(counters, latencies):
+    snapshot = validate_snapshot(build_snapshot(counters, latencies))
+    for entry in snapshot["histograms"]:
+        assert sum(entry["counts"]) == entry["count"] == len(latencies)
+        if latencies:
+            assert entry["min"] == min(latencies)
+            assert entry["max"] == max(latencies)
+            assert entry["sum"] == sum(latencies)
+
+
+@given(
+    first=observations, second=observations, third=observations,
+    counters=counter_values,
+)
+def test_merge_is_associative(first, second, third, counters):
+    a = build_snapshot(counters, first)
+    b = build_snapshot({}, second)
+    c = build_snapshot(counters, third)
+    left = merge_snapshots(merge_snapshots(a, b), c)
+    right = merge_snapshots(a, merge_snapshots(b, c))
+    assert left == right
+    validate_snapshot(left)
+
+
+@given(first=observations, second=observations)
+def test_merge_is_commutative_and_conserves(first, second):
+    a = build_snapshot({}, first)
+    b = build_snapshot({}, second)
+    merged = merge_snapshots(a, b)
+    assert merged == merge_snapshots(b, a)
+    for entry in merged["histograms"]:
+        assert sum(entry["counts"]) == entry["count"] == len(first) + len(second)
+
+
+@given(latencies=observations)
+def test_merge_with_empty_is_identity_on_state(latencies):
+    snapshot = build_snapshot({}, latencies)
+    empty = build_snapshot({}, [])
+    merged = merge_snapshots(snapshot, empty)
+    # Same instruments, same bucket state (percentiles recomputed from
+    # identical state are identical too).
+    assert merged["histograms"] == snapshot["histograms"]
+    assert merged["counters"] == snapshot["counters"]

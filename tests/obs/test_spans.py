@@ -1,0 +1,84 @@
+"""Span API: nested phase timing recorded as ``span.*`` histograms."""
+
+import pytest
+
+from repro.obs import NULL_SPAN, MetricsRegistry
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry(enabled=True)
+
+
+def span_histogram(registry, path):
+    for entry in registry.snapshot()["histograms"]:
+        if entry["name"] == f"span.{path}":
+            return entry
+    return None
+
+
+def test_span_records_duration(registry):
+    with registry.span("insert"):
+        pass
+    entry = span_histogram(registry, "insert")
+    assert entry["count"] == 1
+    assert entry["sum"] >= 0
+
+
+def test_children_record_dotted_paths(registry):
+    span = registry.span("repair")
+    with span:
+        with span.child("probe"):
+            pass
+        with span.child("combine"):
+            pass
+    assert span_histogram(registry, "repair.probe")["count"] == 1
+    assert span_histogram(registry, "repair.combine")["count"] == 1
+    parent = span_histogram(registry, "repair")
+    assert parent["count"] == 1
+    assert parent["sum"] >= (
+        span_histogram(registry, "repair.probe")["sum"]
+        + span_histogram(registry, "repair.combine")["sum"]
+    )
+
+
+def test_grandchildren_nest(registry):
+    span = registry.span("reconstruct")
+    with span, span.child("fetch").child("rows"):
+        pass
+    assert span_histogram(registry, "reconstruct.fetch.rows")["count"] == 1
+
+
+def test_repeated_phases_accumulate(registry):
+    span = registry.span("reconstruct")
+    with span:
+        for _ in range(3):
+            with span.child("plan"):
+                pass
+    assert span_histogram(registry, "reconstruct.plan")["count"] == 3
+
+
+def test_span_records_on_the_error_path(registry):
+    span = registry.span("insert")
+    with pytest.raises(RuntimeError):
+        with span:
+            raise RuntimeError("boom")
+    assert span_histogram(registry, "insert")["count"] == 1
+    assert span.duration_ns is not None
+
+
+def test_duration_available_after_exit(registry):
+    span = registry.span("insert")
+    with span:
+        pass
+    assert span.duration_ns >= 0
+
+
+def test_disabled_registry_returns_the_null_span():
+    disabled = MetricsRegistry(enabled=False)
+    span = disabled.span("insert")
+    assert span is NULL_SPAN
+    with span, span.child("anything"):
+        pass
+    assert span.child("x") is span
+    assert disabled.snapshot()["histograms"] == []

@@ -24,10 +24,12 @@ def test_run_writes_a_report(tmp_path, capsys):
     assert code == 0
     assert "invariant reconstructable_when_k_live: ok" in out
     payload = json.loads(report_path.read_text())
-    assert payload["format"] == "repro-scenario-report-v1"
+    assert payload["format"] == "repro-scenario-report-v2"
     assert payload["ok"] is True
     assert payload["meta"]["model"] == "diurnal"
     assert payload["event_history"]
+    assert payload["obs"]["begin"]["format"] == "repro-obs-snapshot-v1"
+    assert payload["obs"]["end"]["format"] == "repro-obs-snapshot-v1"
 
 
 def test_replay_reproduces_the_recorded_run(tmp_path, capsys):
