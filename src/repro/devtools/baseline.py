@@ -1,0 +1,103 @@
+"""The ratchet baseline: tolerate recorded findings, fail on new ones.
+
+A baseline entry fingerprints a finding by ``path :: code :: message``
+-- deliberately *line-insensitive*, so unrelated edits that shift a
+tolerated finding up or down the file don't break CI, while any change
+to what the finding says (different attribute, different chain) counts
+as new.  Each entry carries a count (the same fingerprint may occur on
+several lines) and a free-form ``justification`` string, which the
+policy in ``docs/TESTING.md`` requires to be non-empty: an entry nobody
+can justify is a defect to fix, not a baseline to keep.
+
+``--update-baseline`` regenerates the file from the current findings;
+the ratchet direction is that entries only ever disappear.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.devtools.findings import Finding, LintReport
+
+__all__ = [
+    "BASELINE_VERSION",
+    "fingerprint",
+    "load_baseline",
+    "apply_baseline",
+    "write_baseline",
+]
+
+BASELINE_VERSION = 1
+
+
+def fingerprint(finding: Finding) -> str:
+    return f"{finding.path}::{finding.code}::{finding.message}"
+
+
+def load_baseline(path: str | pathlib.Path) -> dict:
+    """``fingerprint -> tolerated count`` from a baseline file."""
+    data = json.loads(pathlib.Path(path).read_text(encoding="utf-8"))
+    if data.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"baseline version {data.get('version')!r} unsupported "
+            f"(expected {BASELINE_VERSION}); regenerate with --update-baseline"
+        )
+    counts: dict = {}
+    for entry in data.get("entries", []):
+        counts[entry["fingerprint"]] = counts.get(entry["fingerprint"], 0) + int(
+            entry.get("count", 1)
+        )
+    return counts
+
+
+def apply_baseline(report: LintReport, counts: dict) -> None:
+    """Move findings matching the baseline into ``report.baselined``.
+
+    Each fingerprint tolerates up to its recorded count; extra
+    occurrences beyond the count stay live findings (the ratchet).
+    """
+    remaining = dict(counts)
+    live: list = []
+    for finding in report.findings:
+        key = fingerprint(finding)
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            report.baselined.append(finding)
+        else:
+            live.append(finding)
+    report.findings[:] = live
+    report.baselined.sort()
+
+
+def write_baseline(path: str | pathlib.Path, report: LintReport) -> int:
+    """Record the report's live + baselined findings; returns the count.
+
+    Existing justifications are preserved for fingerprints that survive.
+    """
+    path = pathlib.Path(path)
+    justifications: dict = {}
+    if path.exists():
+        try:
+            old = json.loads(path.read_text(encoding="utf-8"))
+            for entry in old.get("entries", []):
+                if entry.get("justification"):
+                    justifications[entry["fingerprint"]] = entry["justification"]
+        except (OSError, ValueError):
+            pass
+    counts: dict = {}
+    for finding in list(report.findings) + list(report.baselined):
+        counts[fingerprint(finding)] = counts.get(fingerprint(finding), 0) + 1
+    entries = [
+        {
+            "fingerprint": key,
+            "count": count,
+            "justification": justifications.get(key, ""),
+        }
+        for key, count in sorted(counts.items())
+    ]
+    payload = {"version": BASELINE_VERSION, "entries": entries}
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return len(entries)

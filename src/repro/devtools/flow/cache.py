@@ -1,0 +1,110 @@
+"""The mtime+hash-keyed per-file cache for flow analysis.
+
+Each entry stores one file's :class:`~repro.devtools.flow.summaries.FileFlowInfo`
+keyed by ``(mtime_ns, size, sha256)``.  Lookups hit on a matching stat
+without hashing (the fast path a second whole-tree run takes); a stat
+miss falls back to the content hash, so ``touch`` alone never causes
+re-analysis.  Entries for files absent from the current run are pruned
+on save, and the JSON is written with sorted keys and a fixed layout,
+so two runs over an unchanged tree produce byte-identical cache files
+(asserted by the selfcheck suite).
+
+Only *intra-procedural* results are cached.  The interprocedural passes
+(RL502/RL504) recompute from the cached summaries every run -- they are
+cheap, and it means a change in one file correctly re-derives every
+cross-file finding.
+
+Suppression comments are **not** part of the cache: ``run_lint`` filters
+``# reprolint: disable=`` lines after rules emit, and editing a
+suppression changes the file's hash anyway, so a suppressed finding can
+never resurface from a stale entry (property-tested in
+``tests/devtools/test_flow_cache.py``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+
+__all__ = ["ENGINE_VERSION", "FlowCache"]
+
+#: Bump to invalidate every cache entry (any change to CFG construction,
+#: summary shape, or the intra-procedural rules).
+#: v2: finally/catch-all handler heads no longer carry raise edges.
+ENGINE_VERSION = 2
+
+
+class FlowCache:
+    def __init__(self, path: str | pathlib.Path | None):
+        self.path = pathlib.Path(path) if path is not None else None
+        self.entries: dict = {}
+        self.hits = 0
+        self.misses = 0
+        self._touched: set = set()
+        if self.path is not None and self.path.exists():
+            try:
+                data = json.loads(self.path.read_text(encoding="utf-8"))
+            except (OSError, ValueError):
+                data = {}
+            if data.get("engine_version") == ENGINE_VERSION:
+                self.entries = data.get("files", {})
+
+    def _stat(self, path: pathlib.Path):
+        try:
+            stat = path.stat()
+        except OSError:
+            return None
+        return stat.st_mtime_ns, stat.st_size
+
+    @staticmethod
+    def digest(source: str) -> str:
+        return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+    def get(self, path: pathlib.Path, source: str):
+        """The cached info dict for ``path``, or ``None`` on miss."""
+        key = str(path)
+        self._touched.add(key)
+        entry = self.entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        stat = self._stat(path)
+        if stat is not None and [stat[0], stat[1]] == [
+            entry.get("mtime_ns"),
+            entry.get("size"),
+        ]:
+            self.hits += 1
+            return entry["info"]
+        if self.digest(source) == entry.get("sha256"):
+            # Same content, new stat (checkout, touch): refresh the key.
+            if stat is not None:
+                entry["mtime_ns"], entry["size"] = stat
+            self.hits += 1
+            return entry["info"]
+        self.misses += 1
+        return None
+
+    def put(self, path: pathlib.Path, source: str, info: dict) -> None:
+        key = str(path)
+        self._touched.add(key)
+        stat = self._stat(path) or (0, len(source))
+        self.entries[key] = {
+            "mtime_ns": stat[0],
+            "size": stat[1],
+            "sha256": self.digest(source),
+            "info": info,
+        }
+
+    def save(self) -> None:
+        if self.path is None:
+            return
+        files = {
+            key: entry
+            for key, entry in self.entries.items()
+            if key in self._touched
+        }
+        payload = {"engine_version": ENGINE_VERSION, "files": files}
+        text = json.dumps(payload, indent=1, sort_keys=True) + "\n"
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.path.write_text(text, encoding="utf-8")

@@ -1,0 +1,90 @@
+"""The RL5xx flow rule: glue between the engine and the flow analyses.
+
+One :class:`~repro.devtools.rules.base.ProjectRule` owns the whole
+family -- the per-file passes share CFG construction and the
+interprocedural passes need every file's summary, so splitting into four
+rule objects would re-analyze the tree four times.  ``--select RL503``
+still works: the engine filters by code after emission.
+
+Production-code only (``roles={"src"}``): test code blocks, tears state,
+and leaks on purpose -- a test that calls ``time.sleep`` in a stub
+daemon is exercising timeouts, not shipping a stalled event loop.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.devtools.findings import Finding
+from repro.devtools.flow.cache import FlowCache
+from repro.devtools.flow.callgraph import CallGraph
+from repro.devtools.flow.summaries import FileFlowInfo, analyze_file
+from repro.devtools.rules.base import ProjectRule
+
+__all__ = ["FlowRule"]
+
+
+class FlowRule(ProjectRule):
+    code = "RL501"
+    name = "flow-async"
+    description = (
+        "flow-sensitive async analysis: torn read-modify-write, blocking "
+        "reachability, resource leak paths, lock-order cycles (needs --flow)"
+    )
+    codes = ("RL501", "RL502", "RL503", "RL504")
+    code_descriptions = {
+        "RL501": "shared self-attribute read-modify-write torn across an "
+        "await without a covering lock (needs --flow)",
+        "RL502": "blocking call (sleep, sync I/O, subprocess, hashlib, GF "
+        "kernels) reachable from async context (needs --flow)",
+        "RL503": "acquired resource with a path to function exit that "
+        "skips release (needs --flow)",
+        "RL504": "lock-acquisition-order cycle across the call graph "
+        "(needs --flow)",
+    }
+    roles = frozenset({"src"})
+
+    def __init__(self, cache_path=None):
+        self.cache_path = cache_path
+        #: Filled by ``check_project`` for the CLI's cache statistics.
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    def check_project(self, ctxs) -> Iterator[Finding]:
+        cache = FlowCache(self.cache_path)
+        infos = []
+        for ctx in ctxs:
+            cached = cache.get(ctx.path, ctx.source)
+            if cached is not None:
+                info = FileFlowInfo.from_json(cached)
+                # The engine keys suppression lookup on the context's own
+                # path string; re-anchor in case the cache was built from
+                # a different invocation spelling of the same file.
+                info.path = str(ctx.path)
+            else:
+                info = analyze_file(ctx)
+                cache.put(ctx.path, ctx.source, info.to_json())
+            infos.append(info)
+        cache.save()
+        self.cache_hits = cache.hits
+        self.cache_misses = cache.misses
+
+        for info in infos:
+            for raw in info.local_findings:
+                yield Finding(
+                    path=info.path,
+                    line=raw["line"],
+                    col=raw["col"],
+                    code=raw["code"],
+                    message=raw["message"],
+                )
+
+        graph = CallGraph(infos)
+        for info, line, col, message in graph.iter_rl502():
+            yield Finding(
+                path=info.path, line=line, col=col, code="RL502", message=message
+            )
+        for info, line, col, message in graph.iter_rl504():
+            yield Finding(
+                path=info.path, line=line, col=col, code="RL504", message=message
+            )

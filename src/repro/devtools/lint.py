@@ -3,10 +3,20 @@
 Usage (from the repo root, ``PYTHONPATH=src``)::
 
     python -m repro.devtools.lint src tests
+    python -m repro.devtools.lint --flow src tests
     python -m repro.devtools.lint src tests --format json
     python -m repro.devtools.lint --list-rules
 
 Exit codes: 0 clean, 1 findings (or unparseable files), 2 usage error.
+
+``--flow`` enables the flow-sensitive RL5xx family (CFG + call-graph
+analysis, see ``docs/DEVTOOLS.md``); ``--flow-cache PATH`` keys its
+per-file results on mtime+sha256 so repeat whole-tree runs skip
+re-analysis.  ``--baseline PATH`` tolerates the findings recorded in a
+ratchet file (new findings still fail; ``--update-baseline``
+regenerates it); ``--format sarif`` / ``--sarif-output PATH`` emit SARIF
+2.1.0 for CI annotation; ``--time-limit SECONDS`` fails the run when
+the whole pass exceeds the budget.
 
 Suppression: append ``# reprolint: disable=RL104`` (comma-separate for
 several codes, ``disable=all`` for everything) to the offending line.
@@ -31,10 +41,19 @@ import json
 import pathlib
 import re
 import sys
+import time
 from typing import Iterable, Sequence
 
+from repro.devtools.baseline import apply_baseline, load_baseline, write_baseline
 from repro.devtools.findings import Finding, LintReport
-from repro.devtools.rules import ALL_RULES, RULE_CODES, ProjectRule, rule_table
+from repro.devtools.rules import (
+    ALL_RULES,
+    RULE_CODES,
+    FlowRule,
+    ProjectRule,
+    rule_table,
+)
+from repro.devtools.sarif import to_sarif
 
 __all__ = ["FileContext", "run_lint", "main"]
 
@@ -135,12 +154,16 @@ def run_lint(
     force_role: str | None = None,
     select: Iterable[str] | None = None,
     ignore: Iterable[str] = (),
+    flow: bool = False,
+    flow_cache: str | pathlib.Path | None = None,
 ) -> LintReport:
     """Lint ``paths`` (files and/or directories) and return the report.
 
     ``select``/``ignore`` take full codes or prefixes (``RL1`` matches
     the whole asyncio family).  ``force_role`` pins every file to one
-    role instead of inferring test-ness from the path.
+    role instead of inferring test-ness from the path.  ``flow``
+    enables the RL5xx flow-sensitive family; ``flow_cache`` points its
+    per-file cache at a JSON file (``None`` analyzes from scratch).
     """
     select_set = {code.upper() for code in select} if select is not None else None
     ignore_set = {code.upper() for code in ignore}
@@ -158,6 +181,10 @@ def run_lint(
     raw: list[tuple[Finding, FileContext]] = []
     by_path = {str(ctx.path): ctx for ctx in contexts}
     for rule in ALL_RULES:
+        if isinstance(rule, FlowRule):
+            if not flow:
+                continue
+            rule = FlowRule(cache_path=flow_cache)
         if isinstance(rule, ProjectRule):
             eligible = [ctx for ctx in contexts if ctx.role in rule.roles]
             for finding in rule.check_project(eligible):
@@ -191,7 +218,43 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     parser.add_argument("paths", nargs="*", default=(), help="files or directories")
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text", dest="fmt"
+        "--format", choices=("text", "json", "sarif"), default="text", dest="fmt"
+    )
+    parser.add_argument(
+        "--flow",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="run the flow-sensitive RL5xx family (CFG + call graph)",
+    )
+    parser.add_argument(
+        "--flow-cache",
+        default=None,
+        metavar="PATH",
+        help="mtime+hash-keyed per-file cache for the flow analysis",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help="ratchet baseline: recorded findings are tolerated, new ones fail",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="regenerate the --baseline file from the current findings and exit 0",
+    )
+    parser.add_argument(
+        "--sarif-output",
+        default=None,
+        metavar="PATH",
+        help="also write a SARIF 2.1.0 report to PATH (any --format)",
+    )
+    parser.add_argument(
+        "--time-limit",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="fail (exit 1) if the whole run takes longer than this",
     )
     parser.add_argument(
         "--select", default=None, help="comma-separated codes/prefixes to run"
@@ -231,29 +294,70 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(f"error: unknown rule code(s): {', '.join(unknown)}", file=sys.stderr)
         return 2
 
+    if args.update_baseline and args.baseline is None:
+        print("error: --update-baseline requires --baseline PATH", file=sys.stderr)
+        return 2
+
+    started = time.perf_counter()
     try:
         report = run_lint(
             args.paths,
             force_role=args.force_role,
             select=split(args.select) if args.select is not None else None,
             ignore=split(args.ignore),
+            flow=args.flow,
+            flow_cache=args.flow_cache,
         )
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    elapsed = time.perf_counter() - started
+
+    if args.baseline is not None:
+        if args.update_baseline:
+            count = write_baseline(args.baseline, report)
+            print(
+                f"reprolint: baseline {args.baseline} updated "
+                f"({count} fingerprint(s))",
+                file=sys.stderr,
+            )
+            return 0
+        try:
+            counts = load_baseline(args.baseline)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot load baseline: {exc}", file=sys.stderr)
+            return 2
+        apply_baseline(report, counts)
+
+    if args.sarif_output is not None:
+        pathlib.Path(args.sarif_output).write_text(
+            json.dumps(to_sarif(report), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
 
     if args.fmt == "json":
         print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+    elif args.fmt == "sarif":
+        print(json.dumps(to_sarif(report), indent=2, sort_keys=True))
     else:
         for finding in report.errors + report.findings:
             print(finding.render())
         summary = (
             f"reprolint: {len(report.findings)} finding(s), "
             f"{len(report.suppressed)} suppressed, "
+            f"{len(report.baselined)} baselined, "
             f"{len(report.errors)} unparseable, "
-            f"{report.files_checked} file(s) checked"
+            f"{report.files_checked} file(s) checked in {elapsed:.2f}s"
         )
         print(summary, file=sys.stderr)
+
+    if args.time_limit is not None and elapsed > args.time_limit:
+        print(
+            f"error: lint run took {elapsed:.2f}s, over the "
+            f"--time-limit budget of {args.time_limit:.2f}s",
+            file=sys.stderr,
+        )
+        return 1
     return report.exit_code
 
 

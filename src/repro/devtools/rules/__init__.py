@@ -9,11 +9,15 @@ Three families, mirroring where this project's bugs actually live:
 - **RL3xx** wire protocol (opcode/dispatch/client drift, duplicated
   wire-format constants);
 - **RL4xx** observability (wall-clock latency arithmetic, metric names
-  outside the registry scheme).
+  outside the registry scheme);
+- **RL5xx** flow-sensitive async analysis (torn read-modify-write,
+  blocking reachability, resource leak paths, lock-order cycles) --
+  runs only under ``--flow``.
 """
 
 from __future__ import annotations
 
+from repro.devtools.flow.rules import FlowRule
 from repro.devtools.rules.asyncio_rules import (
     DroppedTaskRule,
     LockAcrossNetworkAwaitRule,
@@ -25,9 +29,18 @@ from repro.devtools.rules.gf_rules import PlainArithmeticOnGFRule, RawArrayIntoG
 from repro.devtools.rules.obs_rules import MetricNameRule, WallClockLatencyRule
 from repro.devtools.rules.protocol_rules import ProtocolDriftRule, WireConstantRule
 
-__all__ = ["Rule", "ProjectRule", "ALL_RULES", "RULE_CODES", "rule_table"]
+__all__ = [
+    "Rule",
+    "ProjectRule",
+    "FlowRule",
+    "ALL_RULES",
+    "RULE_CODES",
+    "rule_table",
+]
 
-#: Every rule, instantiated once; the engine iterates this.
+#: Every rule, instantiated once; the engine iterates this.  The
+#: :class:`FlowRule` entry registers the RL5xx codes; ``run_lint`` only
+#: executes it when flow analysis is enabled.
 ALL_RULES: tuple[Rule, ...] = (
     UnawaitedCoroutineRule(),
     SwallowedExceptionRule(),
@@ -39,6 +52,7 @@ ALL_RULES: tuple[Rule, ...] = (
     WireConstantRule(),
     WallClockLatencyRule(),
     MetricNameRule(),
+    FlowRule(),
 )
 
 
@@ -47,8 +61,9 @@ def rule_table() -> list[tuple[str, str, str]]:
     rows = []
     for rule in ALL_RULES:
         codes = rule.codes if isinstance(rule, ProjectRule) and rule.codes else (rule.code,)
+        per_code = getattr(rule, "code_descriptions", {})
         for code in codes:
-            rows.append((code, rule.name, rule.description))
+            rows.append((code, rule.name, per_code.get(code, rule.description)))
     return sorted(rows)
 
 

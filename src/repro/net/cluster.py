@@ -171,7 +171,9 @@ class LocalCluster:
         that happens to reuse the address.
         """
         address = await self.kill(number)
-        self.wipe(number)
+        # rmtree over a whole blockstore is disk-bound; keep the loop
+        # (and the other daemons it serves) responsive while it runs.
+        await asyncio.to_thread(self.wipe, number)
         return address
 
     async def spawn(self) -> PeerAddress:

@@ -570,7 +570,11 @@ class Coordinator:
         )
         with span.child("combine"):
             # The newcomer's piece synthesis: the CPU half of a repair.
-            piece = self.code.newcomer_repair(uploads, lost_index)
+            # The GF matmul underneath blocks for the whole combine, so
+            # run it off the loop like the reconstruction decode.
+            piece = await asyncio.to_thread(
+                self.code.newcomer_repair, uploads, lost_index
+            )
             blob = piece_to_bytes(piece, self.field)
         try:
             with span.child("store"):
@@ -668,8 +672,12 @@ class Coordinator:
                         f"k={self.params.k}"
                     )
                 try:
-                    plan = self.code.plan_reconstruction(
-                        [piece for _, _, piece in collected]
+                    # Rank selection + inversion over the coefficient
+                    # matrix is the other CPU spike of a reconstruction;
+                    # off the loop so concurrent ops keep flowing.
+                    plan = await asyncio.to_thread(
+                        self.code.plan_reconstruction,
+                        [piece for _, _, piece in collected],
                     )
                 except DecodingError as exc:
                     if not candidates:

@@ -138,9 +138,19 @@ class ConnectionPool:
                 asyncio.open_connection(self.host, self.port),
                 timeout=self.connect_timeout,
             )
-            self.opened += 1
-            self._m_opened.inc()
-            return PooledConnection(reader, writer)
+            # Take ownership of the stream *before* the bookkeeping:
+            # anything failing between connect and hand-off (a metrics
+            # hiccup, KeyboardInterrupt) would otherwise strand the
+            # socket -- the outer handler releases the slot but knows
+            # nothing about the stream.
+            conn = PooledConnection(reader, writer)
+            try:
+                self.opened += 1
+                self._m_opened.inc()
+            except BaseException:
+                writer.close()
+                raise
+            return conn
         except BaseException:
             if self._slots is not None:
                 self._slots.release()

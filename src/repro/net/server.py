@@ -26,6 +26,7 @@ client still works unchanged (it just closes after its one exchange).
 from __future__ import annotations
 
 import asyncio
+import concurrent.futures
 import logging
 
 import numpy as np
@@ -128,6 +129,16 @@ class PeerDaemon:
         self.fault_scope = fault_scope
         self.idle_timeout = idle_timeout
         self._semaphore = asyncio.Semaphore(max_concurrent)
+        # Serializes start()/stop(): both read-then-rewrite the listener
+        # and port across awaits, so concurrent lifecycle calls would
+        # otherwise race (two listeners, half-torn shutdown).
+        self._lifecycle_lock = asyncio.Lock()
+        # Request handlers do real blocking work (fsync'd writes, GF row
+        # combines, digest checks); they run on this single dispatch
+        # thread so the event loop keeps serving other connections.  One
+        # worker, because the blockstore, the rng, and the per-request
+        # bookkeeping dicts are only safe under serialized dispatch.
+        self._dispatch_pool: concurrent.futures.ThreadPoolExecutor | None = None
         self._server: asyncio.base_events.Server | None = None
         self._connections: set[asyncio.StreamWriter] = set()
         self._handlers: set[asyncio.Task] = set()
@@ -155,12 +166,17 @@ class PeerDaemon:
 
     async def start(self) -> None:
         """Bind and start accepting connections (returns immediately)."""
-        if self._server is not None:
-            raise RuntimeError("daemon already started")
-        self._server = await asyncio.start_server(
-            self._handle_connection, self.host, self.port
-        )
-        self.port = self._server.sockets[0].getsockname()[1]
+        async with self._lifecycle_lock:
+            if self._server is not None:
+                raise RuntimeError("daemon already started")
+            if self._dispatch_pool is None:
+                self._dispatch_pool = concurrent.futures.ThreadPoolExecutor(
+                    max_workers=1, thread_name_prefix="daemon-dispatch"
+                )
+            self._server = await asyncio.start_server(
+                self._handle_connection, self.host, self.port
+            )
+            self.port = self._server.sockets[0].getsockname()[1]
         logger.info("peer daemon listening on %s:%d", self.host, self.port)
 
     async def stop(self) -> None:
@@ -171,18 +187,25 @@ class PeerDaemon:
         Python >= 3.12 ``Server.wait_closed()`` waits for every active
         handler, so leaving them up would hang shutdown forever.
         """
-        if self._server is not None:
-            self._server.close()
-        for writer in list(self._connections):
-            writer.close()
-        if self._server is not None:
-            await self._server.wait_closed()
-            self._server = None
-            logger.info("peer daemon on %s:%d stopped", self.host, self.port)
-        if self._handlers:
-            # Severed handlers wake up on EOF; wait for them to unwind so
-            # no task is left to be cancelled noisily at loop teardown.
-            await asyncio.gather(*list(self._handlers), return_exceptions=True)
+        async with self._lifecycle_lock:
+            server, self._server = self._server, None
+            if server is not None:
+                server.close()
+            for writer in list(self._connections):
+                writer.close()
+            if server is not None:
+                await server.wait_closed()
+                logger.info("peer daemon on %s:%d stopped", self.host, self.port)
+            if self._handlers:
+                # Severed handlers wake up on EOF; wait for them to
+                # unwind so no task is left to be cancelled noisily at
+                # loop teardown.
+                await asyncio.gather(*list(self._handlers), return_exceptions=True)
+            if self._dispatch_pool is not None:
+                # Every handler has unwound, so the pool is idle and
+                # shutdown returns without blocking the loop.
+                self._dispatch_pool.shutdown(wait=True)
+                self._dispatch_pool = None
 
     async def serve_forever(self) -> None:
         """Start (if needed) and block until cancelled -- CLI entry point."""
@@ -238,6 +261,7 @@ class PeerDaemon:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         peername = writer.get_extra_info("peername")
+        loop = asyncio.get_running_loop()
         task = asyncio.current_task()
         if task is not None:
             self._handlers.add(task)
@@ -265,7 +289,11 @@ class PeerDaemon:
                     self._bytes_sent.inc(sent)
                     break  # framing is lost; drop the connection
                 self._bytes_received.inc(frame_bytes)
-                event = self._decide_fault(request)
+                # Fault decisions hash a handful of label strings (a
+                # seeded deterministic draw, microseconds); the flagged
+                # sha256 never sees request payloads, and the plan's
+                # counters live on this loop thread.
+                event = self._decide_fault(request)  # reprolint: disable=RL502
                 if event is not None and event.kind is FaultKind.CRASH:
                     self.crash()
                     break
@@ -276,7 +304,21 @@ class PeerDaemon:
                     # block its healthy transfers.
                     await asyncio.sleep(self.fault_plan.rule(event).delay)
                 async with self._semaphore:
-                    response = self._timed_dispatch(request)
+                    if isinstance(request, GetStats):
+                        # STATS snapshots the registry, whose dicts this
+                        # loop thread mutates -- it must not hop threads,
+                        # and it touches no disk and no GF kernel, so
+                        # running it inline cannot stall the loop.
+                        response = self._timed_dispatch(request)  # reprolint: disable=RL502
+                    else:
+                        # Get-or-create the per-opcode instruments here:
+                        # registry creation is not thread-safe, so it
+                        # must happen on the loop thread; the dispatch
+                        # thread then only updates existing instruments.
+                        self._instruments(request)
+                        response = await loop.run_in_executor(
+                            self._dispatch_pool, self._timed_dispatch, request
+                        )
                 if event is not None and event.kind is FaultKind.TRUNCATE:
                     frame = self.fault_plan.truncate_frame(
                         encode_message(response), event
@@ -286,7 +328,10 @@ class PeerDaemon:
                     await writer.drain()
                     break  # the rest of the frame is never coming
                 if event is not None and event.kind is FaultKind.CORRUPT:
-                    frame = self.fault_plan.corrupt_frame(
+                    # Corruption hashes ~32 bytes per flipped byte from
+                    # tiny label seeds, never the frame itself; inline
+                    # beats a thread hop at that size.
+                    frame = self.fault_plan.corrupt_frame(  # reprolint: disable=RL502
                         encode_message(response), event
                     )
                     writer.write(frame)
@@ -331,7 +376,12 @@ class PeerDaemon:
         return cached
 
     def _timed_dispatch(self, request: Message) -> Message:
-        """Dispatch with the handler's compute time recorded per opcode."""
+        """Dispatch with the handler's compute time recorded per opcode.
+
+        Runs on the dispatch thread (except STATS, which stays on the
+        loop); the caller pre-creates this opcode's instruments so only
+        updates happen here.
+        """
         if not self.obs.enabled:
             return self._dispatch(request)
         start = now_ns()

@@ -30,6 +30,7 @@ replayable.
 
 from __future__ import annotations
 
+import asyncio
 import dataclasses
 import hashlib
 import json
@@ -58,6 +59,12 @@ REPORT_FORMAT = "repro-scenario-report-v2"
 #: predate the embedded obs snapshots (their ``obs`` key reads as
 #: ``None``); everything the replay machinery compares is unchanged.
 SUPPORTED_REPORT_FORMATS = ("repro-scenario-report-v1", REPORT_FORMAT)
+
+
+def _sha256_hex(data: bytes) -> str:
+    """Ground-truth digest of one file; run via ``asyncio.to_thread``
+    from the async paths (files are MBs, hashing them stalls the loop)."""
+    return hashlib.sha256(data).hexdigest()
 
 
 @dataclasses.dataclass
@@ -325,7 +332,9 @@ class ScenarioRunner:
             if cluster.is_running(event.peer):
                 await cluster.decommission(event.peer)
             else:
-                cluster.wipe(event.peer)
+                # Disk-bound rmtree of the whole blockstore; keep the
+                # loop free for the daemons still serving.
+                await asyncio.to_thread(cluster.wipe, event.peer)
             return True
         if event.action == "spawn":
             address = await cluster.spawn()
@@ -370,11 +379,12 @@ class ScenarioRunner:
             self._ops["insert_failed"] += 1
             record.ops_failed += 1
             return
+        digest = await asyncio.to_thread(_sha256_hex, data)
         self._files.append(
             _FileState(
                 file_id=file_id,
                 data=data,
-                sha256=hashlib.sha256(data).hexdigest(),
+                sha256=digest,
                 manifest=stats.manifest,
             )
         )
@@ -474,7 +484,7 @@ class ScenarioRunner:
                     self._violations.append(violation)
                     record.violations.append(violation)
                 continue
-            if hashlib.sha256(restored).hexdigest() != state.sha256:
+            if await asyncio.to_thread(_sha256_hex, restored) != state.sha256:
                 violation = f"corruption:{state.file_id}@{time:g}"
                 self._violations.append(violation)
                 record.violations.append(violation)

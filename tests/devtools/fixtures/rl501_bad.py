@@ -1,0 +1,21 @@
+"""RL501 fixture: shared-attribute read-modify-write torn by an await."""
+
+import asyncio
+
+
+class Tally:
+    def __init__(self, lock):
+        self._lock = lock
+        self._count = 0
+        self._high_water = 0
+
+    async def torn_increment(self):
+        count = self._count  # read with no lock held
+        await asyncio.sleep(0)  # suspension: another task can run
+        self._count = count + 1  # line 15: the write lands on stale state
+
+    async def lock_misses_the_window(self):
+        async with self._lock:
+            high = self._high_water  # the read is covered ...
+        await asyncio.sleep(0)  # ... but the await is outside the lock
+        self._high_water = high + 1  # line 21: torn despite the lock

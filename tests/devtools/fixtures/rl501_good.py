@@ -1,0 +1,24 @@
+"""RL501 fixture: covered windows, atomic updates, post-await reads."""
+
+import asyncio
+
+
+class Tally:
+    def __init__(self, lock):
+        self._lock = lock
+        self._count = 0
+        self._flag = False
+
+    async def covered_increment(self):
+        async with self._lock:
+            count = self._count
+            await asyncio.sleep(0)  # suspension under the same lock
+            self._count = count + 1  # no task can interleave: covered
+
+    async def atomic_increment(self):
+        self._count += 1  # read and write with no await between
+        await asyncio.sleep(0)
+
+    async def fresh_read_after_await(self):
+        await asyncio.sleep(0)
+        self._flag = not self._flag  # window opens after the suspension

@@ -1,0 +1,19 @@
+"""RL502 fixture: blocking primitives called directly on the event loop."""
+
+import hashlib
+import shutil
+import time
+
+
+class Digester:
+    async def sleeps_on_loop(self):
+        time.sleep(0.1)  # line 10
+
+    async def hashes_on_loop(self, blob):
+        return hashlib.sha256(blob).hexdigest()  # line 13
+
+    async def removes_tree_on_loop(self, path):
+        shutil.rmtree(path)  # line 16
+
+    async def reads_file_on_loop(self, path):
+        return path.read_bytes()  # line 19

@@ -1,0 +1,7 @@
+"""RL502 cross-module fixture: async caller two sync hops from a sleep."""
+
+from tests.devtools.fixtures.rl502_chain_helper import settle
+
+
+async def drive():
+    settle()  # line 7: reaches time.sleep via settle -> nap

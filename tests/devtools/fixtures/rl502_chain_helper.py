@@ -1,0 +1,11 @@
+"""RL502 cross-module fixture: the sync helpers hiding the blocking sink."""
+
+import time
+
+
+def settle():
+    nap()
+
+
+def nap():
+    time.sleep(0.5)

@@ -1,0 +1,17 @@
+"""RL503 fixture: acquired resources with a path to exit skipping release."""
+
+import asyncio
+
+
+class Dialer:
+    async def leaks_on_early_return(self, host, port, ready):
+        reader, writer = await asyncio.open_connection(host, port)  # line 8
+        if not ready:
+            return None  # this path never closes the stream
+        writer.close()
+        return reader
+
+    async def leaks_on_exception(self, pool, payload):
+        conn = await pool.acquire()  # line 15
+        await conn.send(payload)  # a raise here skips the release below
+        conn.release()

@@ -1,0 +1,24 @@
+"""RL503 fixture: every path releases, transfers, or scopes the resource."""
+
+import asyncio
+
+
+class Dialer:
+    async def closes_in_finally(self, host, port):
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            return await reader.read()
+        finally:
+            writer.close()  # exception and return paths both land here
+
+    async def transfers_ownership(self, host, port, registry):
+        reader, writer = await asyncio.open_connection(host, port)
+        registry.adopt(writer)  # the registry owns the stream now
+        return reader
+
+    async def releases_in_finally(self, pool, payload):
+        conn = await pool.acquire()
+        try:
+            await conn.send(payload)
+        finally:
+            conn.release()

@@ -1,0 +1,18 @@
+"""RL504 fixture: two methods acquire the same locks in opposite orders."""
+
+
+class Transfer:
+    def __init__(self, source_lock, target_lock):
+        self._source_lock = source_lock
+        self._target_lock = target_lock
+        self._balance = 0
+
+    async def debit_then_credit(self):
+        async with self._source_lock:
+            async with self._target_lock:  # source -> target
+                self._balance -= 1
+
+    async def credit_then_debit(self):
+        async with self._target_lock:
+            async with self._source_lock:  # target -> source: the cycle
+                self._balance += 1

@@ -1,0 +1,18 @@
+"""RL504 fixture: one global acquisition order, everywhere."""
+
+
+class Transfer:
+    def __init__(self, source_lock, target_lock):
+        self._source_lock = source_lock
+        self._target_lock = target_lock
+        self._balance = 0
+
+    async def debit_then_credit(self):
+        async with self._source_lock:
+            async with self._target_lock:  # source -> target
+                self._balance -= 1
+
+    async def audit(self):
+        async with self._source_lock:
+            async with self._target_lock:  # same order: no cycle
+                self._balance += 0

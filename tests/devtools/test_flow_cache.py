@@ -1,0 +1,185 @@
+"""Tests for the flow analysis cache: keying, stability, invalidation.
+
+The two load-bearing guarantees:
+
+- **byte stability** -- two flow runs over an unchanged tree write
+  byte-identical cache files, so the cache can live in CI artifacts and
+  diffs stay meaningful;
+- **suppressions never resurface** -- a finding silenced by an inline
+  ``# reprolint: disable=`` comment stays silenced when the analysis is
+  served from cache, because suppression filtering happens outside the
+  cached layer and editing the comment re-keys the file's hash anyway
+  (property-tested below).
+"""
+
+from __future__ import annotations
+
+import json
+import keyword
+import pathlib
+
+import pytest
+
+from repro.devtools.flow import ENGINE_VERSION, FlowCache
+from repro.devtools.lint import run_lint
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+
+
+def flow_lint(paths, cache_path):
+    return run_lint(paths, force_role="src", select=["RL5"], flow=True,
+                    flow_cache=cache_path)
+
+
+# ------------------------------------------------------------ unit level
+
+
+def test_miss_then_hit_on_unchanged_file(tmp_path):
+    target = tmp_path / "mod.py"
+    target.write_text("x = 1\n", encoding="utf-8")
+    cache_file = tmp_path / "cache.json"
+
+    cache = FlowCache(cache_file)
+    assert cache.get(target, target.read_text()) is None
+    cache.put(target, target.read_text(), {"marker": 1})
+    cache.save()
+
+    reloaded = FlowCache(cache_file)
+    assert reloaded.get(target, target.read_text()) == {"marker": 1}
+    assert (reloaded.hits, reloaded.misses) == (1, 0)
+
+
+def test_touch_alone_is_still_a_hit(tmp_path):
+    target = tmp_path / "mod.py"
+    target.write_text("x = 1\n", encoding="utf-8")
+    cache_file = tmp_path / "cache.json"
+    cache = FlowCache(cache_file)
+    cache.put(target, target.read_text(), {"marker": 1})
+    cache.save()
+
+    stat = target.stat()
+    import os
+
+    os.utime(target, ns=(stat.st_atime_ns, stat.st_mtime_ns + 10_000_000))
+    reloaded = FlowCache(cache_file)
+    assert reloaded.get(target, target.read_text()) == {"marker": 1}
+
+
+def test_content_change_misses(tmp_path):
+    target = tmp_path / "mod.py"
+    target.write_text("x = 1\n", encoding="utf-8")
+    cache_file = tmp_path / "cache.json"
+    cache = FlowCache(cache_file)
+    cache.put(target, target.read_text(), {"marker": 1})
+    cache.save()
+
+    target.write_text("x = 2\n", encoding="utf-8")
+    reloaded = FlowCache(cache_file)
+    assert reloaded.get(target, target.read_text()) is None
+
+
+def test_engine_version_mismatch_drops_everything(tmp_path):
+    cache_file = tmp_path / "cache.json"
+    payload = {
+        "engine_version": ENGINE_VERSION - 1,
+        "files": {"whatever.py": {"info": {}}},
+    }
+    cache_file.write_text(json.dumps(payload), encoding="utf-8")
+    assert FlowCache(cache_file).entries == {}
+
+
+def test_absent_files_are_pruned_on_save(tmp_path):
+    a, b = tmp_path / "a.py", tmp_path / "b.py"
+    a.write_text("x = 1\n", encoding="utf-8")
+    b.write_text("y = 2\n", encoding="utf-8")
+    cache_file = tmp_path / "cache.json"
+    cache = FlowCache(cache_file)
+    cache.put(a, a.read_text(), {})
+    cache.put(b, b.read_text(), {})
+    cache.save()
+
+    second = FlowCache(cache_file)
+    second.get(a, a.read_text())  # only a is part of this run
+    second.save()
+    files = json.loads(cache_file.read_text())["files"]
+    assert set(files) == {str(a)}
+
+
+# ---------------------------------------------------------- engine level
+
+
+def test_cached_run_reports_identical_findings(tmp_path):
+    cache_file = tmp_path / "cache.json"
+    first = flow_lint([FIXTURES / "rl501_bad.py"], cache_file)
+    second = flow_lint([FIXTURES / "rl501_bad.py"], cache_file)
+    assert [f.render() for f in first.findings] == [
+        f.render() for f in second.findings
+    ]
+    assert len(second.findings) == 2
+
+
+def test_cache_file_is_byte_stable_across_runs(tmp_path):
+    cache_file = tmp_path / "cache.json"
+    paths = [FIXTURES / "rl501_bad.py", FIXTURES / "rl503_bad.py"]
+    flow_lint(paths, cache_file)
+    first_bytes = cache_file.read_bytes()
+    flow_lint(paths, cache_file)
+    assert cache_file.read_bytes() == first_bytes
+
+
+# ------------------------------------------------- suppression property
+
+pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+pytestmark = pytest.mark.property
+
+_IGNORED_HINTS = ("lock", "sem", "mutex", "obs")
+
+attr_names = st.from_regex(r"[a-z][a-z0-9_]{0,10}", fullmatch=True).filter(
+    lambda name: not keyword.iskeyword(name)
+    and not any(hint in name for hint in _IGNORED_HINTS)
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(attr=attr_names)
+def test_suppressed_findings_never_resurface_from_cache(tmp_path_factory, attr):
+    """Lint, suppress the finding, lint again against the *same* cache:
+    the finding must move to ``suppressed`` and never come back live."""
+    tmp_path = tmp_path_factory.mktemp("flowcache")
+    target = tmp_path / "mod.py"
+    cache_file = tmp_path / "cache.json"
+    source = (
+        "import asyncio\n"
+        "\n"
+        "\n"
+        "class Holder:\n"
+        "    async def bump(self):\n"
+        f"        value = self.{attr}\n"
+        "        await asyncio.sleep(0)\n"
+        f"        self.{attr} = value + 1\n"
+    )
+    target.write_text(source, encoding="utf-8")
+
+    first = flow_lint([target], cache_file)
+    assert [f.code for f in first.findings] == ["RL501"]
+    assert first.suppressed == []
+
+    target.write_text(
+        source.replace(
+            f"self.{attr} = value + 1",
+            f"self.{attr} = value + 1  # reprolint: disable=RL501",
+        ),
+        encoding="utf-8",
+    )
+    second = flow_lint([target], cache_file)
+    assert second.findings == []
+    assert [f.code for f in second.suppressed] == ["RL501"]
+
+    # and a third run (now a cache hit on the suppressed content) must
+    # agree with the second in full.
+    third = flow_lint([target], cache_file)
+    assert third.findings == []
+    assert [f.code for f in third.suppressed] == ["RL501"]

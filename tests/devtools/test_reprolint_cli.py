@@ -110,6 +110,7 @@ def test_json_report_schema(capsys):
         "files_checked",
         "findings",
         "suppressed",
+        "baselined",
         "errors",
     }
     assert payload["schema_version"] == REPORT_SCHEMA_VERSION
@@ -152,3 +153,139 @@ def test_role_inferred_from_path_for_directories():
     # ... while the asyncio family applies to both roles.
     report = run_lint([FIXTURES / "rl104_bad.py"])
     assert len(report.findings) == 3
+
+
+# ------------------------------------------------------------------ SARIF
+
+
+def test_sarif_format_on_stdout(capsys):
+    code = main(
+        [str(FIXTURES / "rl104_bad.py"), "--force-role", "src", "--format", "sarif"]
+    )
+    assert code == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["version"] == "2.1.0"
+    assert payload["$schema"].endswith("sarif-schema-2.1.0.json")
+    run = payload["runs"][0]
+    assert run["tool"]["driver"]["name"] == "reprolint"
+    rule_ids = {rule["id"] for rule in run["tool"]["driver"]["rules"]}
+    assert "RL104" in rule_ids and "RL501" in rule_ids
+    results = run["results"]
+    assert len(results) == 3
+    for result in results:
+        assert result["ruleId"] == "RL104"
+        region = result["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] >= 1
+        assert "suppressions" not in result
+
+
+def test_sarif_marks_suppressed_findings_in_source(capsys):
+    code = main(
+        [str(FIXTURES / "suppressed.py"), "--force-role", "src", "--format", "sarif"]
+    )
+    assert code == 1
+    results = json.loads(capsys.readouterr().out)["runs"][0]["results"]
+    suppressed = [r for r in results if "suppressions" in r]
+    assert len(suppressed) == 3
+    assert all(
+        r["suppressions"] == [{"kind": "inSource"}] for r in suppressed
+    )
+
+
+def test_sarif_output_file_alongside_text_format(tmp_path, capsys):
+    out = tmp_path / "report.sarif"
+    code = main(
+        [
+            str(FIXTURES / "rl104_bad.py"),
+            "--force-role",
+            "src",
+            "--sarif-output",
+            str(out),
+        ]
+    )
+    assert code == 1
+    capsys.readouterr()  # text format still went to stdout/stderr
+    payload = json.loads(out.read_text(encoding="utf-8"))
+    assert payload["version"] == "2.1.0"
+    assert len(payload["runs"][0]["results"]) == 3
+
+
+# ---------------------------------------------------------------- baseline
+
+
+def test_baseline_round_trip_tolerates_recorded_findings(tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    target = str(FIXTURES / "rl104_bad.py")
+
+    # 1. record the current findings: exits 0 and writes the ratchet.
+    code = main([target, "--force-role", "src", "--baseline", str(baseline),
+                 "--update-baseline"])
+    assert code == 0
+    assert "baseline" in capsys.readouterr().err
+    entries = json.loads(baseline.read_text(encoding="utf-8"))["entries"]
+    assert entries and all(e["fingerprint"].count("::") == 2 for e in entries)
+
+    # 2. the same run against the baseline is now green; the findings
+    #    move to "baselined" instead of disappearing.
+    code = main([target, "--force-role", "src", "--baseline", str(baseline),
+                 "--format", "json"])
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["findings"] == []
+    assert len(payload["baselined"]) == 3
+
+
+def test_baseline_is_a_ratchet_new_findings_stay_live(tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    recorded = str(FIXTURES / "rl104_bad.py")
+    main([recorded, "--force-role", "src", "--baseline", str(baseline),
+          "--update-baseline"])
+    capsys.readouterr()
+
+    # a file the baseline has never seen still fails the run.
+    code = main(
+        [recorded, str(FIXTURES / "rl201_bad.py"), "--force-role", "src",
+         "--baseline", str(baseline), "--format", "json"]
+    )
+    assert code == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert {f["code"] for f in payload["findings"]} == {"RL201"}
+    assert {f["code"] for f in payload["baselined"]} == {"RL104"}
+
+
+def test_update_baseline_requires_baseline_path(capsys):
+    code = main([str(FIXTURES / "rl104_bad.py"), "--update-baseline"])
+    assert code == 2
+    assert "--update-baseline requires --baseline" in capsys.readouterr().err
+
+
+def test_corrupt_baseline_is_a_usage_error(tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text('{"version": 99}', encoding="utf-8")
+    code = main(
+        [str(FIXTURES / "rl104_bad.py"), "--baseline", str(baseline)]
+    )
+    assert code == 2
+    assert "cannot load baseline" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------- flow + timing
+
+
+def test_flow_flag_enables_rl5xx_via_main(capsys):
+    code = main(
+        [str(FIXTURES / "rl501_bad.py"), "--force-role", "src",
+         "--select", "RL5", "--flow"]
+    )
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "RL501" in out
+
+
+def test_time_limit_zero_always_fails(capsys):
+    code = main(
+        [str(FIXTURES / "rl101_good.py"), "--force-role", "src",
+         "--time-limit", "0"]
+    )
+    assert code == 1
+    assert "over the --time-limit budget" in capsys.readouterr().err
